@@ -1,0 +1,47 @@
+(* Regenerates the reproduction's experiment tables (EXPERIMENTS.md).
+
+   Usage:
+     experiments               run everything
+     experiments --id E2       run one experiment
+     experiments --list        list experiment ids
+     experiments --seed 7      change the master seed *)
+
+open Cmdliner
+
+let run id_opt list_only seed =
+  if list_only then begin
+    List.iter (fun (id, _f) -> print_endline id) Lcs_experiments.Registry.all;
+    0
+  end
+  else
+    match id_opt with
+    | None ->
+        Lcs_experiments.Registry.run_all ~seed ();
+        0
+    | Some id -> (
+        match Lcs_experiments.Registry.find id with
+        | None ->
+            Printf.eprintf "unknown experiment id %S (try --list)\n" id;
+            1
+        | Some f ->
+            Lcs_experiments.Exp_types.print (f ~seed ());
+            0)
+
+let id_arg =
+  let doc = "Run only the experiment with this id (e.g. E2)." in
+  Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+
+let list_arg =
+  let doc = "List experiment ids and titles (runs them to obtain titles)." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let seed_arg =
+  let doc = "Master seed for all randomized pieces." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper-reproduction experiment tables" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run $ id_arg $ list_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,320 @@
+(* Command-line interface to the library: generate graph families, build
+   shortcuts, run part-wise aggregation and MST, and inspect the Fig 3.2
+   lower-bound topology.
+
+   Graph family syntax (for --graph):
+     grid:S        S x S planar grid
+     torus:S       S x S torus
+     wheel:N       wheel on N vertices
+     ktree:K,N     random k-tree
+     clique:B,S    B grid blocks of side S, pairwise connected
+     er:N,P        connected Erdos-Renyi G(N, P)
+     lbg:D',DD     Lemma 3.2 lower-bound graph (delta'=D', D'=DD)
+
+   Partition syntax (for --parts):
+     rows          grid rows (grid/torus/lbg only)
+     voronoi:K     K-cell BFS Voronoi
+     whole         a single part
+     singletons    every vertex alone *)
+
+open Core
+open Cmdliner
+
+type family =
+  | Grid of int
+  | Torus of int
+  | Wheel of int
+  | Ktree of int * int
+  | Clique of int * int
+  | Er of int * float
+  | Lbg of int * int
+
+let parse_family s =
+  match String.split_on_char ':' s with
+  | [ "grid"; v ] -> Ok (Grid (int_of_string v))
+  | [ "torus"; v ] -> Ok (Torus (int_of_string v))
+  | [ "wheel"; v ] -> Ok (Wheel (int_of_string v))
+  | [ "ktree"; kv ] -> (
+      match String.split_on_char ',' kv with
+      | [ k; n ] -> Ok (Ktree (int_of_string k, int_of_string n))
+      | _ -> Error "ktree:K,N")
+  | [ "clique"; kv ] -> (
+      match String.split_on_char ',' kv with
+      | [ b; s ] -> Ok (Clique (int_of_string b, int_of_string s))
+      | _ -> Error "clique:B,S")
+  | [ "er"; kv ] -> (
+      match String.split_on_char ',' kv with
+      | [ n; p ] -> Ok (Er (int_of_string n, float_of_string p))
+      | _ -> Error "er:N,P")
+  | [ "lbg"; kv ] -> (
+      match String.split_on_char ',' kv with
+      | [ d; dd ] -> Ok (Lbg (int_of_string d, int_of_string dd))
+      | _ -> Error "lbg:DELTA',D'")
+  | _ -> Error "unknown family"
+
+let build_family seed family =
+  let rng = Rng.create seed in
+  match family with
+  | Grid s -> (Generators.grid ~rows:s ~cols:s, `Grid s)
+  | Torus s -> (Generators.torus ~rows:s ~cols:s, `Grid s)
+  | Wheel n -> (Generators.wheel n, `Wheel)
+  | Ktree (k, n) -> (Generators.k_tree rng ~k ~n, `Other)
+  | Clique (b, s) -> (Generators.clique_of_grids ~blocks:b ~side:s, `Clique (b, s))
+  | Er (n, p) -> (Generators.erdos_renyi_connected rng ~n ~p, `Other)
+  | Lbg (d, dd) ->
+      let lb = Lower_bound_graph.create ~delta':d ~d':dd in
+      (lb.Lower_bound_graph.graph, `Lbg lb)
+
+let build_partition seed g shape spec =
+  match (spec, shape) with
+  | "rows", `Grid s -> Partition.grid_rows g ~rows:s ~cols:s
+  | "rows", `Lbg lb -> lb.Lower_bound_graph.parts
+  | "whole", _ -> Partition.whole g
+  | "singletons", _ -> Partition.singletons g
+  | spec, _ -> (
+      match String.split_on_char ':' spec with
+      | [ "voronoi"; k ] ->
+          Partition.voronoi g (Rng.create (seed + 1)) ~parts:(int_of_string k)
+      | _ -> invalid_arg ("bad partition spec: " ^ spec))
+
+let family_conv =
+  let parser s =
+    match parse_family s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  let printer ppf _ = Format.fprintf ppf "<family>" in
+  Arg.conv ~docv:"FAMILY" (parser, printer)
+
+let graph_arg =
+  let doc = "Graph family (see syntax above)." in
+  Arg.(required & opt (some family_conv) None & info [ "graph"; "g" ] ~docv:"FAMILY" ~doc)
+
+let parts_arg =
+  let doc = "Partition spec: rows | voronoi:K | whole | singletons." in
+  Arg.(value & opt string "voronoi:8" & info [ "parts"; "p" ] ~docv:"PARTS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- info subcommand -------------------------------------------------- *)
+
+let info_cmd =
+  let run family seed =
+    let g, shape = build_family seed family in
+    Format.printf "%a@." Graph.pp g;
+    Printf.printf "diameter: %d\n" (Diameter.of_graph g);
+    Printf.printf "density (m/n): %.3f\n" (Graph.density g);
+    Printf.printf "greedy minor-density lower bound: %.3f\n"
+      (Minor_density.greedy_lower (Rng.create (seed + 2)) ~restarts:4 g);
+    (match shape with
+    | `Lbg lb -> print_string (Lower_bound_graph.ascii_sketch lb)
+    | _ -> ());
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"print a family's basic statistics")
+    Term.(const run $ graph_arg $ seed_arg)
+
+(* --- shortcut subcommand ------------------------------------------------ *)
+
+let shortcut_cmd =
+  let run family parts seed full =
+    let g, shape = build_family seed family in
+    let partition = build_partition seed g shape parts in
+    let tree = Bfs.tree g ~root:0 in
+    if full then begin
+      let b = Boost.full partition ~tree in
+      let r = Quality.measure b.Boost.shortcut in
+      Printf.printf "full shortcut after %d boosting iterations (delta=%d):\n"
+        b.Boost.iterations b.Boost.delta_used;
+      Format.printf "  %a@." Quality.pp_report r
+    end
+    else begin
+      let result, delta = Construct.auto partition ~tree in
+      let r = Quality.measure result.Construct.shortcut in
+      Printf.printf
+        "partial shortcut: delta=%d threshold=%d budget=%d covered=%d/%d\n" delta
+        result.Construct.threshold result.Construct.block_budget
+        result.Construct.selected_count (Partition.k partition);
+      Format.printf "  %a@." Quality.pp_report r
+    end;
+    0
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"boost to a full shortcut (Obs 2.7)")
+  in
+  Cmd.v
+    (Cmd.info "shortcut" ~doc:"construct a Theorem 3.1 shortcut and measure it")
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg)
+
+(* --- pa subcommand -------------------------------------------------------- *)
+
+let pa_cmd =
+  let run family parts seed =
+    let g, shape = build_family seed family in
+    let partition = build_partition seed g shape parts in
+    let tree = Bfs.tree g ~root:0 in
+    let sc = (Boost.full partition ~tree).Boost.shortcut in
+    let rng = Rng.create (seed + 5) in
+    let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
+    let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
+    let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
+    Printf.printf "part-wise min aggregation: %d rounds, %d messages, correct=%b\n"
+      out.Aggregate.rounds out.Aggregate.messages ok;
+    let bare = Aggregate.minimum (Rng.create (seed + 6)) (Shortcut.empty partition) ~values in
+    Printf.printf "without shortcuts:          %d rounds, %d messages\n"
+      bare.Aggregate.rounds bare.Aggregate.messages;
+    0
+  in
+  Cmd.v
+    (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg)
+
+(* --- mst subcommand --------------------------------------------------------- *)
+
+let mst_cmd =
+  let run family seed mode =
+    let g, _shape = build_family seed family in
+    let w = Weights.random_distinct (Rng.create (seed + 3)) g in
+    let mode =
+      match mode with
+      | "thm31" -> Boruvka_engine.Thm31
+      | "baseline" -> Boruvka_engine.Bfs_baseline
+      | "induced" -> Boruvka_engine.Induced_only
+      | other -> invalid_arg ("unknown mode " ^ other)
+    in
+    let result = Mst.boruvka ~seed:(seed + 4) ~mode w in
+    let ok = result.Mst.edges = Kruskal.mst w in
+    Printf.printf
+      "MST: weight=%d edges=%d phases=%d pa_rounds=%d correct_vs_kruskal=%b\n"
+      result.Mst.weight
+      (List.length result.Mst.edges)
+      result.Mst.accounting.Boruvka_engine.phases
+      result.Mst.accounting.Boruvka_engine.pa_rounds ok;
+    0
+  in
+  let mode_arg =
+    Arg.(value & opt string "thm31" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"thm31 | baseline | induced")
+  in
+  Cmd.v
+    (Cmd.info "mst" ~doc:"distributed Boruvka MST with measured PA rounds")
+    Term.(const run $ graph_arg $ seed_arg $ mode_arg)
+
+(* --- export subcommand -------------------------------------------------------- *)
+
+let export_cmd =
+  let run family parts seed format path =
+    let g, shape = build_family seed family in
+    let contents =
+      match format with
+      | "edges" -> Graph_io.to_edge_list g
+      | "dot" ->
+          let partition =
+            match parts with
+            | None -> None
+            | Some spec -> Some (build_partition seed g shape spec)
+          in
+          Graph_io.to_dot ?partition g
+      | "shortcut-dot" ->
+          (* Render the boosted Theorem 3.1 shortcut: part colors plus the
+             H_i edges drawn heavy, shaded by how many parts share them. *)
+          let spec = match parts with Some s -> s | None -> "voronoi:8" in
+          let partition = build_partition seed g shape spec in
+          let tree = Bfs.tree g ~root:0 in
+          let sc = (Boost.full partition ~tree).Boost.shortcut in
+          let load = Quality.edge_load sc in
+          Graph_io.to_dot_with_edge_style ~partition g ~style_of_edge:(fun e ->
+              if load.(e) = 0 then None
+              else
+                Some
+                  (Printf.sprintf "color=red, penwidth=%d, label=\"%d\""
+                     (min 5 (1 + load.(e)))
+                     load.(e)))
+      | other -> invalid_arg ("unknown format " ^ other)
+    in
+    (match path with
+    | None -> print_string contents
+    | Some p ->
+        Graph_io.write_file p contents;
+        Printf.printf "wrote %s (%d bytes)\n" p (String.length contents));
+    0
+  in
+  let format_arg =
+    Arg.(value & opt string "edges"
+         & info [ "format" ] ~docv:"FMT" ~doc:"edges | dot | shortcut-dot")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc:"output file")
+  in
+  let parts_opt =
+    Arg.(value & opt (some string) None
+         & info [ "parts"; "p" ] ~docv:"PARTS" ~doc:"color parts in dot output")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"serialize a graph family (edge list or Graphviz dot)")
+    Term.(const run $ graph_arg $ parts_opt $ seed_arg $ format_arg $ out_arg)
+
+(* --- certificate subcommand ----------------------------------------------------- *)
+
+let certificate_cmd =
+  let run family parts seed threshold budget =
+    let g, shape = build_family seed family in
+    let partition = build_partition seed g shape parts in
+    let tree = Bfs.tree g ~root:0 in
+    let result =
+      Construct.run ~record_blame:true partition ~tree ~threshold ~block_budget:budget
+    in
+    Printf.printf "run: threshold=%d budget=%d covered=%d/%d overcongested=%d\n"
+      threshold budget result.Construct.selected_count (Partition.k partition)
+      result.Construct.overcongested_count;
+    if result.Construct.overcongested_count = 0 then begin
+      print_endline "no overcongested edges: nothing to certify";
+      0
+    end
+    else begin
+      let cert = Certificate.best_effort ~max_attempts:512 (Rng.create (seed + 9)) result in
+      Printf.printf
+        "certificate: density %.3f (%d edge-nodes + %d part-nodes), verified=%b\n"
+        cert.Certificate.density cert.Certificate.edge_nodes cert.Certificate.part_nodes
+        (match Minor.verify g cert.Certificate.model with Ok () -> true | Error _ -> false);
+      0
+    end
+  in
+  let threshold_arg =
+    Arg.(value & opt int 3 & info [ "threshold" ] ~docv:"C" ~doc:"congestion cap")
+  in
+  let budget_arg =
+    Arg.(value & opt int 1 & info [ "budget" ] ~docv:"B" ~doc:"block budget")
+  in
+  Cmd.v
+    (Cmd.info "certificate"
+       ~doc:"force a failed run and extract a dense-minor certificate")
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ threshold_arg $ budget_arg)
+
+(* --- experiment passthrough -------------------------------------------------- *)
+
+let experiment_cmd =
+  let run id seed =
+    match Lcs_experiments.Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment id %S\n" id;
+        1
+    | Some f ->
+        Lcs_experiments.Exp_types.print (f ~seed ());
+        0
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"experiment id")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"run one experiment table (E1..E13)")
+    Term.(const run $ id_arg $ seed_arg)
+
+let () =
+  let doc = "low-congestion shortcuts toolbox" in
+  let info = Cmd.info "lcs" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; export_cmd; certificate_cmd;
+            experiment_cmd ]))

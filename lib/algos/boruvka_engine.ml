@@ -1,0 +1,119 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Union_find = Lcs_graph.Union_find
+module Bfs = Lcs_graph.Bfs
+module Shortcut = Lcs_shortcut.Shortcut
+module Boost = Lcs_shortcut.Boost
+module Baseline = Lcs_shortcut.Baseline
+module Quality = Lcs_shortcut.Quality
+module Aggregate = Lcs_partwise.Aggregate
+module Rng = Lcs_util.Rng
+
+type shortcut_mode =
+  | Thm31
+  | Bfs_baseline
+  | Induced_only
+
+type accounting = {
+  phases : int;
+  pa_rounds : int;
+  pa_messages : int;
+  max_congestion : int;
+  final_fragments : int;
+}
+
+let key_bits = 31
+let encode key edge =
+  if key < 0 || key >= 1 lsl key_bits then invalid_arg "Boruvka_engine: key range";
+  (key lsl key_bits) lor edge
+
+let decode_edge encoded = encoded land ((1 lsl key_bits) - 1)
+
+let partition_of_uf g uf =
+  let n = Graph.n g in
+  (* Compact fragment roots to 0..k-1. *)
+  let index = Hashtbl.create 64 in
+  let part_of =
+    Array.init n (fun v ->
+        let r = Union_find.find uf v in
+        match Hashtbl.find_opt index r with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length index in
+            Hashtbl.add index r i;
+            i)
+  in
+  Partition.of_assignment g part_of
+
+let build_shortcut mode tree partition =
+  match mode with
+  | Thm31 -> (Boost.full partition ~tree).Boost.shortcut
+  | Bfs_baseline -> (Baseline.bfs_tree partition ~tree).Baseline.shortcut
+  | Induced_only -> Shortcut.empty partition
+
+let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
+  if Graph.m g >= 1 lsl key_bits then invalid_arg "Boruvka_engine: too many edges";
+  let rng = Rng.create seed in
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let tree = Bfs.tree g ~root:0 in
+  let partition = ref (partition_of_uf g uf) in
+  let shortcut = ref (build_shortcut mode tree !partition) in
+  let phases = ref 0 in
+  let pa_rounds = ref 0 in
+  let pa_messages = ref 0 in
+  let max_congestion = ref 0 in
+  let progress = ref true in
+  while !progress do
+    incr phases;
+    let fragment_of v = Partition.part_of !partition v in
+    (* Per-vertex encoded proposals. *)
+    let values =
+      Array.init n (fun v ->
+          match candidate ~fragment_of v with
+          | None -> max_int
+          | Some (key, edge) -> encode key edge)
+    in
+    let congestion = Quality.congestion !shortcut in
+    if congestion > !max_congestion then max_congestion := congestion;
+    let out = Aggregate.minimum rng !shortcut ~values in
+    pa_rounds := !pa_rounds + out.Aggregate.rounds;
+    pa_messages := !pa_messages + out.Aggregate.messages;
+    (* Merge along each fragment's winning edge. *)
+    let merged_any = ref false in
+    Array.iter
+      (fun encoded ->
+        if encoded <> max_int then begin
+          let e = decode_edge encoded in
+          let u, v = Graph.edge_endpoints g e in
+          if Union_find.union uf u v then begin
+            merged_any := true;
+            on_merge e
+          end
+        end)
+      out.Aggregate.minima;
+    if !merged_any then begin
+      (* Fragment-identity update: a leader broadcast on the new partition,
+         whose shortcut the next phase reuses. *)
+      let partition' = partition_of_uf g uf in
+      let shortcut' = build_shortcut mode tree partition' in
+      let k' = Partition.k partition' in
+      let leaders = Array.make k' (-1) in
+      for v = n - 1 downto 0 do
+        leaders.(Partition.part_of partition' v) <- v
+      done;
+      let bc = Aggregate.broadcast rng shortcut' ~leaders in
+      pa_rounds := !pa_rounds + bc.Aggregate.rounds;
+      pa_messages := !pa_messages + bc.Aggregate.messages;
+      partition := partition';
+      shortcut := shortcut'
+    end
+    else progress := false
+  done;
+  {
+    phases = !phases;
+    pa_rounds = !pa_rounds;
+    pa_messages = !pa_messages;
+    max_congestion = !max_congestion;
+    final_fragments = Union_find.count uf;
+  }

@@ -1,0 +1,46 @@
+(** The shared Borůvka skeleton behind {!Mst}, {!Connectivity} and
+    {!Mincut} — fragments merging along per-fragment minimum candidate
+    edges, with every fragment-wide step executed as a measured part-wise
+    aggregation over a shortcut.
+
+    Each phase performs two real, packet-routed aggregations:
+    + a {e minimum} PA on the current fragment partition delivering every
+      fragment its best candidate edge (for MST: the minimum-weight
+      outgoing edge of Borůvka's 1926 algorithm);
+    + after merging, a {e leader broadcast} PA on the new partition — the
+      fragment-identity update every distributed Borůvka needs — whose
+      shortcut is then reused by the next phase.
+
+    Shortcut mode selects what the paper compares: the Theorem 3.1
+    construction (boosted to a full shortcut), the [D+√n] BFS-tree
+    baseline, or no shortcut at all (parts confined to their induced
+    subgraphs — the Section 2 cautionary tale). *)
+
+type shortcut_mode =
+  | Thm31  (** {!Lcs_shortcut.Boost.full} at auto-detected δ *)
+  | Bfs_baseline  (** {!Lcs_shortcut.Baseline.bfs_tree} *)
+  | Induced_only  (** empty shortcuts *)
+
+type accounting = {
+  phases : int;
+  pa_rounds : int;  (** measured packet-router rounds, summed over phases *)
+  pa_messages : int;
+  max_congestion : int;  (** largest shortcut congestion across phases *)
+  final_fragments : int;
+}
+
+val run :
+  ?seed:int ->
+  ?mode:shortcut_mode ->
+  Lcs_graph.Graph.t ->
+  candidate:(fragment_of:(int -> int) -> int -> (int * int) option) ->
+  on_merge:(int -> unit) ->
+  accounting
+(** [run g ~candidate ~on_merge]: [candidate ~fragment_of v] returns
+    [Some (key, edge)] — vertex [v]'s proposed outgoing edge with its
+    comparison key (minimized lexicographically by [(key, edge)]) — or
+    [None] if [v] has nothing to propose. The engine aggregates per
+    fragment, calls [on_merge edge] for every edge that actually merges two
+    fragments, and repeats until a phase proposes no merges. Keys must lie
+    in [0, 2^31) and the host must have fewer than 2^31 edges. [mode]
+    defaults to [Thm31]. *)

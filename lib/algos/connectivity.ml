@@ -1,0 +1,27 @@
+module Graph = Lcs_graph.Graph
+module Union_find = Lcs_graph.Union_find
+
+type result = {
+  components : int;
+  labels : int array;
+  accounting : Boruvka_engine.accounting;
+}
+
+let components ?seed ?mode g ~keep =
+  let uf = Union_find.create (Graph.n g) in
+  let candidate ~fragment_of v =
+    let best = ref None in
+    Graph.iter_adj g v (fun w e ->
+        if keep e && fragment_of w <> fragment_of v then
+          match !best with
+          | Some e' when e' <= e -> ()
+          | _ -> best := Some e);
+    match !best with None -> None | Some e -> Some (0, e)
+  in
+  let accounting =
+    Boruvka_engine.run ?seed ?mode g ~candidate ~on_merge:(fun e ->
+        let u, v = Graph.edge_endpoints g e in
+        ignore (Union_find.union uf u v))
+  in
+  let labels = Array.init (Graph.n g) (fun v -> Union_find.find uf v) in
+  { components = Union_find.count uf; labels; accounting }

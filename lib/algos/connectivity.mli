@@ -1,0 +1,21 @@
+(** Connected components of an edge-subgraph, computed by Borůvka hooking
+    with part-wise aggregation — the distributed primitive behind the
+    min-cut estimator.
+
+    Fragments live in the subgraph [{e ∈ G : keep e}], but communication
+    (shortcuts, aggregation) uses the whole host graph — exactly the
+    situation of a distributed algorithm probing a logical subgraph of its
+    physical network. *)
+
+type result = {
+  components : int;  (** of the kept subgraph *)
+  labels : int array;  (** per vertex; stable across runs *)
+  accounting : Boruvka_engine.accounting;
+}
+
+val components :
+  ?seed:int ->
+  ?mode:Boruvka_engine.shortcut_mode ->
+  Lcs_graph.Graph.t ->
+  keep:(int -> bool) ->
+  result

@@ -1,0 +1,27 @@
+module Graph = Lcs_graph.Graph
+module Weights = Lcs_graph.Weights
+module Pqueue = Lcs_util.Pqueue
+
+let distances weights ~src =
+  let g = Weights.graph weights in
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.distances";
+  let dist = Array.make n max_int in
+  let queue = Pqueue.create () in
+  dist.(src) <- 0;
+  Pqueue.push queue ~priority:0 src;
+  let rec drain () =
+    match Pqueue.pop_min queue with
+    | None -> ()
+    | Some (d, v) ->
+        if d = dist.(v) then
+          Graph.iter_adj g v (fun w e ->
+              let candidate = d + Weights.get weights e in
+              if candidate < dist.(w) then begin
+                dist.(w) <- candidate;
+                Pqueue.push queue ~priority:candidate w
+              end);
+        drain ()
+  in
+  drain ();
+  dist

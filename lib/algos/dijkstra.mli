@@ -1,0 +1,6 @@
+(** Dijkstra's sequential shortest paths — the correctness reference for
+    the distributed SSSP algorithms of {!Sssp}. *)
+
+val distances : Lcs_graph.Weights.t -> src:int -> int array
+(** Weighted distance from [src] to every vertex; [max_int] when
+    unreachable. *)

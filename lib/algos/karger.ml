@@ -1,0 +1,43 @@
+module Graph = Lcs_graph.Graph
+module Union_find = Lcs_graph.Union_find
+module Components = Lcs_graph.Components
+module Rng = Lcs_util.Rng
+
+let contract_once rng g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Karger.contract_once: need >= 2 vertices";
+  if not (Components.is_connected g) then invalid_arg "Karger.contract_once: disconnected";
+  let m = Graph.m g in
+  let uf = Union_find.create n in
+  let order = Rng.permutation rng m in
+  (* Kruskal-style contraction: process edges in random order, contract
+     until two super-vertices remain. This is equivalent to Karger's
+     repeated uniform edge choice. *)
+  let remaining = ref n in
+  Array.iter
+    (fun e ->
+      if !remaining > 2 then begin
+        let u, v = Graph.edge_endpoints g e in
+        if Union_find.union uf u v then decr remaining
+      end)
+    order;
+  let crossing = ref 0 in
+  Graph.iter_edges g (fun _e u v ->
+      if not (Union_find.same uf u v) then incr crossing);
+  !crossing
+
+let min_cut ?repetitions rng g =
+  let n = Graph.n g in
+  let repetitions =
+    match repetitions with
+    | Some r -> max 1 r
+    | None ->
+        let nf = float_of_int n in
+        min 20_000 (max 16 (int_of_float (nf *. nf *. log nf /. 2.)))
+  in
+  let best = ref max_int in
+  for _ = 1 to repetitions do
+    let c = contract_once rng g in
+    if c < !best then best := c
+  done;
+  !best

@@ -1,0 +1,17 @@
+(** Karger's randomized contraction min-cut — a second sequential reference
+    next to {!Stoer_wagner}, and the classical companion of the sampling
+    analysis the distributed estimator ({!Mincut}) rests on.
+
+    One contraction run succeeds with probability at least [2/n²];
+    [min_cut] repeats [Θ(n² log n)] times (or a caller-given budget) so the
+    result is exact with high probability — the tests cross-check it
+    against Stoer–Wagner. Unweighted. *)
+
+val contract_once : Lcs_util.Rng.t -> Lcs_graph.Graph.t -> int
+(** One random contraction down to two super-vertices; returns the number
+    of crossing edges (an upper bound on the min cut). Requires a
+    connected graph with at least 2 vertices. *)
+
+val min_cut : ?repetitions:int -> Lcs_util.Rng.t -> Lcs_graph.Graph.t -> int
+(** Minimum over [repetitions] runs (default [n² ln n], capped at 20_000).
+    Exact w.h.p. *)

@@ -1,0 +1,20 @@
+module Graph = Lcs_graph.Graph
+module Weights = Lcs_graph.Weights
+module Union_find = Lcs_graph.Union_find
+
+let mst weights =
+  let g = Weights.graph weights in
+  let order = Array.init (Graph.m g) (fun e -> e) in
+  Array.sort
+    (fun a b -> compare (Weights.get weights a, a) (Weights.get weights b, b))
+    order;
+  let uf = Union_find.create (Graph.n g) in
+  let picked = ref [] in
+  Array.iter
+    (fun e ->
+      let u, v = Graph.edge_endpoints g e in
+      if Union_find.union uf u v then picked := e :: !picked)
+    order;
+  List.sort compare !picked
+
+let total_weight weights = Weights.total weights (mst weights)

@@ -1,0 +1,11 @@
+(** Kruskal's sequential minimum spanning tree — the correctness reference
+    for the distributed Borůvka of {!Mst}. *)
+
+val mst : Lcs_graph.Weights.t -> int list
+(** Edge ids of a minimum spanning forest, ties broken by edge id (so the
+    answer is unique even with repeated weights, and comparable
+    edge-for-edge against Borůvka's output under distinct weights). Sorted
+    ascending by edge id. *)
+
+val total_weight : Lcs_graph.Weights.t -> int
+(** Weight of the minimum spanning forest. *)

@@ -1,0 +1,75 @@
+module Graph = Lcs_graph.Graph
+module Components = Lcs_graph.Components
+module Rng = Lcs_util.Rng
+
+type estimate = {
+  lambda : float;
+  p_star : float;
+  min_degree : int;
+  connectivity_calls : int;
+  pa_rounds : int;
+  phases : int;
+}
+
+let degree_upper_bound g =
+  let best = ref max_int in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v < !best then best := Graph.degree g v
+  done;
+  !best
+
+let lambda_is_one g = Lcs_graph.Dfs.bridges g <> []
+
+let estimate ?(seed = 11) ?mode ?(trials = 5) ?(decay = 0.85) g =
+  if not (Components.is_connected g) then invalid_arg "Mincut.estimate: disconnected";
+  if decay <= 0. || decay >= 1. then invalid_arg "Mincut.estimate: decay";
+  let rng = Rng.create seed in
+  let m = Graph.m g in
+  let calls = ref 0 in
+  let pa_rounds = ref 0 in
+  let phases = ref 0 in
+  let disconnects p =
+    (* One sampled-subgraph connectivity probe. *)
+    let kept = Array.init m (fun _ -> Rng.bernoulli rng p) in
+    incr calls;
+    let r = Connectivity.components ~seed:(seed + !calls) ?mode g ~keep:(fun e -> kept.(e)) in
+    pa_rounds := !pa_rounds + r.Connectivity.accounting.Boruvka_engine.pa_rounds;
+    phases := !phases + r.Connectivity.accounting.Boruvka_engine.phases;
+    r.Connectivity.components > 1
+  in
+  let rec sweep p level =
+    if level > 200 then (p, level)
+    else begin
+      let disconnected = ref 0 in
+      for _ = 1 to trials do
+        if disconnects p then incr disconnected
+      done;
+      if 2 * !disconnected > trials then (p, level) else sweep (p *. decay) (level + 1)
+    end
+  in
+  let p_star, _level = sweep 1.0 0 in
+  (* Inverting P[some near-minimum cut vanishes] ≈ C·(1-p)^λ = 1/2 needs
+     the cut count C; Karger's bound gives C = n^{O(1)} near-min cuts, and
+     C ≈ n^1.5 calibrates well across the families in the experiments
+     (cycles have ≈ n²/2 min cuts, vertex-cut-dominated graphs ≈ n). *)
+  let lambda =
+    if p_star >= 1.0 then 0.
+    else
+      let cuts = 2. *. (float_of_int (Graph.n g) ** 1.5) in
+      log cuts /. -.log (1. -. p_star)
+  in
+  {
+    lambda;
+    p_star;
+    min_degree = degree_upper_bound g;
+    connectivity_calls = !calls;
+    pa_rounds = !pa_rounds;
+    phases = !phases;
+  }
+
+let refine g est =
+  let upper = float_of_int (degree_upper_bound g) in
+  let clamped = Float.min upper (Float.max 1. est.lambda) in
+  if lambda_is_one g then 1.
+  else if clamped <= 2.5 then 2.
+  else clamped

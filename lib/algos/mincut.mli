@@ -1,0 +1,51 @@
+(** Distributed minimum-cut estimation (Corollary 1.7's regime), by Karger
+    edge sampling over PA-based connectivity.
+
+    The estimator samples each edge with probability [p] and tests
+    connectivity of the sample with {!Connectivity} (a Borůvka of measured
+    part-wise aggregations). A cut of value λ fully disappears from the
+    sample with probability [(1-p)^λ], so the probability of disconnection
+    transitions from ≈0 to ≈1 as [p] drops through [Θ(1/λ)]; locating the
+    transition probability [p_star] and inverting
+    [C·(1-p_star)^λ = 1/2] — with [C = 2n^1.5] standing in for Karger's
+    [n^{O(1)}] bound on the number of near-minimum cuts — estimates λ
+    within a constant factor. DESIGN.md §3.5 records why this substitutes for the
+    tree-packing algorithm of [GH16b] the paper cites: both reduce min-cut
+    to [Õ(poly δ)] aggregation rounds, which is the content of the
+    corollary.
+
+    The paper's own observation that [λ <= minimum degree <= 2δ] is exposed
+    as {!degree_upper_bound} and checked in the experiments. *)
+
+type estimate = {
+  lambda : float;  (** the estimate of the min-cut value *)
+  p_star : float;  (** sampling probability at the transition *)
+  min_degree : int;  (** a deterministic upper bound on λ *)
+  connectivity_calls : int;
+  pa_rounds : int;  (** total measured aggregation rounds *)
+  phases : int;  (** total Borůvka phases across calls *)
+}
+
+val degree_upper_bound : Lcs_graph.Graph.t -> int
+(** [min_v deg(v)]: the min cut is at most any vertex's degree; for a graph
+    of minor density δ this is at most 2δ. *)
+
+val estimate :
+  ?seed:int ->
+  ?mode:Boruvka_engine.shortcut_mode ->
+  ?trials:int ->
+  ?decay:float ->
+  Lcs_graph.Graph.t ->
+  estimate
+(** [estimate g] sweeps sampling levels [p = decay^j] (default decay 0.85),
+    [trials] (default 5) samples per level, until a majority of samples
+    disconnect. Requires a connected graph. *)
+
+val lambda_is_one : Lcs_graph.Graph.t -> bool
+(** Exact test for [λ = 1] (a bridge exists), via {!Lcs_graph.Dfs.bridges}
+    — the first exact rung under the estimator. *)
+
+val refine : Lcs_graph.Graph.t -> estimate -> float
+(** Sharpen an estimate with the deterministic facts: clamped into
+    [[1, min_degree]], snapped to 1 when a bridge exists, and to 2 when
+    bridgeless and the estimate says ≤ 2.5. *)

@@ -1,0 +1,30 @@
+module Graph = Lcs_graph.Graph
+module Weights = Lcs_graph.Weights
+
+type result = {
+  edges : int list;
+  weight : int;
+  accounting : Boruvka_engine.accounting;
+}
+
+let boruvka ?seed ?mode weights =
+  let g = Weights.graph weights in
+  let picked = ref [] in
+  (* A vertex proposes its lightest incident edge leaving its fragment. *)
+  let candidate ~fragment_of v =
+    let best = ref None in
+    Graph.iter_adj g v (fun w e ->
+        if fragment_of w <> fragment_of v then begin
+          let key = Weights.get weights e in
+          match !best with
+          | Some (k, e') when (k, e') <= (key, e) -> ()
+          | _ -> best := Some (key, e)
+        end);
+    !best
+  in
+  let accounting =
+    Boruvka_engine.run ?seed ?mode g ~candidate ~on_merge:(fun e ->
+        picked := e :: !picked)
+  in
+  let edges = List.sort compare !picked in
+  { edges; weight = Weights.total weights edges; accounting }

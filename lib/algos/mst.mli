@@ -1,0 +1,22 @@
+(** Distributed minimum spanning tree (Corollary 1.6): Borůvka's algorithm
+    with every fragment-wide step a measured part-wise aggregation over a
+    shortcut.
+
+    With the Theorem 3.1 shortcuts each of the [O(log n)] phases costs
+    [Õ(δD)] rounds, giving the corollary's [Õ(δD)] total; with the BFS-tree
+    baseline the same phases cost [Θ(D + √n)]. The output is checked
+    against {!Kruskal} in the tests (distinct weights make the MST
+    unique). *)
+
+type result = {
+  edges : int list;  (** MST edge ids, ascending *)
+  weight : int;
+  accounting : Boruvka_engine.accounting;
+}
+
+val boruvka :
+  ?seed:int ->
+  ?mode:Boruvka_engine.shortcut_mode ->
+  Lcs_graph.Weights.t ->
+  result
+(** Requires a connected host graph (the result then has [n-1] edges). *)

@@ -1,0 +1,33 @@
+(** Distributed single-source shortest paths on the CONGEST simulator.
+
+    The unweighted case is exact BFS in [O(D)] rounds (the [Õ(D)]-regime
+    result the paper's introduction cites). The weighted case is the
+    distributed Bellman–Ford: every round each improved node announces its
+    tentative distance, so after [h] rounds distances are exact over paths
+    of at most [h] hops; with [hop_bound = n-1] the output is exact, and
+    the measured {e convergence round} — the last round any node improved —
+    is the weighted-hop diameter from the source, typically far below the
+    bound. DESIGN.md §3.5 records that this substitutes for the
+    shortcut-hopset machinery of [HL18]. *)
+
+type weighted_result = {
+  distances : int array;  (** [max_int] = unreachable within the bound *)
+  rounds : int;  (** simulator rounds executed (= hop bound + O(1)) *)
+  convergence_round : int;  (** last round at which any distance improved *)
+  messages : int;
+}
+
+val bfs :
+  Lcs_graph.Graph.t ->
+  src:int ->
+  int array * Lcs_congest.Simulator.stats
+(** Exact hop distances via the distributed BFS of
+    {!Lcs_congest.Sync_bfs}; rounds are [O(D)]. *)
+
+val bellman_ford :
+  ?hop_bound:int ->
+  Lcs_graph.Weights.t ->
+  src:int ->
+  weighted_result
+(** [hop_bound] defaults to [n - 1] (exact). Verified against {!Dijkstra}
+    in the tests. *)

@@ -1,0 +1,66 @@
+module Graph = Lcs_graph.Graph
+module Weights = Lcs_graph.Weights
+module Components = Lcs_graph.Components
+
+let min_cut_with_side ?weights g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Stoer_wagner: need at least 2 vertices";
+  if not (Components.is_connected g) then invalid_arg "Stoer_wagner: disconnected";
+  let weight_of e = match weights with None -> 1 | Some w -> Weights.get w e in
+  (* Dense symmetric weight matrix over super-vertices. *)
+  let w = Array.make_matrix n n 0 in
+  Graph.iter_edges g (fun e u v ->
+      w.(u).(v) <- w.(u).(v) + weight_of e;
+      w.(v).(u) <- w.(v).(u) + weight_of e);
+  (* merged.(v): the original vertices currently fused into super-vertex v. *)
+  let merged = Array.init n (fun v -> [ v ]) in
+  let active = Array.make n true in
+  let best_value = ref max_int in
+  let best_side = ref [] in
+  for phase = n downto 2 do
+    (* Maximum-adjacency order over the [phase] active vertices. *)
+    let in_a = Array.make n false in
+    let conn = Array.make n 0 in
+    let prev = ref (-1) in
+    let last = ref (-1) in
+    for _ = 1 to phase do
+      (* Select the most-connected active vertex not yet in A. *)
+      let sel = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && (not in_a.(v)) && (!sel = -1 || conn.(v) > conn.(!sel)) then
+          sel := v
+      done;
+      in_a.(!sel) <- true;
+      prev := !last;
+      last := !sel;
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then conn.(v) <- conn.(v) + w.(!sel).(v)
+      done
+    done;
+    (* Cut-of-the-phase: the last vertex alone against the rest. *)
+    let cut =
+      let c = ref 0 in
+      for v = 0 to n - 1 do
+        if active.(v) && v <> !last then c := !c + w.(!last).(v)
+      done;
+      !c
+    in
+    if cut < !best_value then begin
+      best_value := cut;
+      best_side := merged.(!last)
+    end;
+    (* Merge last into prev. *)
+    if !prev >= 0 then begin
+      for v = 0 to n - 1 do
+        if active.(v) && v <> !prev && v <> !last then begin
+          w.(!prev).(v) <- w.(!prev).(v) + w.(!last).(v);
+          w.(v).(!prev) <- w.(v).(!prev) + w.(v).(!last)
+        end
+      done;
+      merged.(!prev) <- merged.(!last) @ merged.(!prev);
+      active.(!last) <- false
+    end
+  done;
+  (!best_value, List.sort compare !best_side)
+
+let min_cut ?weights g = fst (min_cut_with_side ?weights g)

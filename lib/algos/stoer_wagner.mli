@@ -1,0 +1,13 @@
+(** Stoer–Wagner global minimum cut — the exact sequential reference the
+    distributed estimator of {!Mincut} is validated against.
+
+    O(n³) with a dense weight matrix; intended for the test and experiment
+    sizes (n up to ~1500). *)
+
+val min_cut : ?weights:Lcs_graph.Weights.t -> Lcs_graph.Graph.t -> int
+(** Value of the global minimum edge cut (unit weights unless [weights]).
+    Requires a connected graph with at least 2 vertices; raises
+    [Invalid_argument] otherwise. *)
+
+val min_cut_with_side : ?weights:Lcs_graph.Weights.t -> Lcs_graph.Graph.t -> int * int list
+(** Also returns one side of an optimal cut (original vertex ids). *)

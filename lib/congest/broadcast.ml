@@ -1,0 +1,36 @@
+type state = { value : int option; sent : bool }
+
+let run g info ~value =
+  let program =
+    {
+      Simulator.init =
+        (fun ctx ->
+          if ctx.Simulator.node = info.Tree_info.root then
+            { value = Some value; sent = false }
+          else { value = None; sent = false });
+      on_round =
+        (fun ctx st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (_port, v) ->
+                match st.value with Some _ -> st | None -> { st with value = Some v })
+              st inbox
+          in
+          match st.value with
+          | Some v when not st.sent ->
+              let ports = info.Tree_info.nodes.(ctx.Simulator.node).Tree_info.child_ports in
+              ( { st with sent = true },
+                Array.to_list (Array.map (fun p -> (p, v)) ports) )
+          | _ -> (st, []))
+      ;
+      is_halted = (fun st -> st.sent);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let states, stats = Simulator.run g program in
+  let values =
+    Array.map
+      (fun st -> match st.value with Some v -> v | None -> invalid_arg "Broadcast: unreached")
+      states
+  in
+  (values, stats)

@@ -1,0 +1,11 @@
+(** Tree broadcast: the root's value is delivered to every node.
+
+    One word per tree edge; [height + 1] rounds. *)
+
+val run :
+  Lcs_graph.Graph.t ->
+  Tree_info.t ->
+  value:int ->
+  int array * Simulator.stats
+(** [run g info ~value] returns each node's received value and the
+    measured stats. *)

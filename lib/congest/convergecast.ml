@@ -1,0 +1,35 @@
+type state = { acc : int; waiting : int; sent : bool }
+
+let run g info ~values ~combine =
+  let program =
+    {
+      Simulator.init =
+        (fun ctx ->
+          let v = ctx.Simulator.node in
+          let node = info.Tree_info.nodes.(v) in
+          {
+            acc = values.(v);
+            waiting = Array.length node.Tree_info.child_ports;
+            sent = false;
+          });
+      on_round =
+        (fun ctx st ~inbox ->
+          let st =
+            List.fold_left
+              (fun st (_port, v) ->
+                { st with acc = combine st.acc v; waiting = st.waiting - 1 })
+              st inbox
+          in
+          let node = info.Tree_info.nodes.(ctx.Simulator.node) in
+          if st.waiting = 0 && not st.sent then
+            if node.Tree_info.parent_port >= 0 then
+              ({ st with sent = true }, [ (node.Tree_info.parent_port, st.acc) ])
+            else ({ st with sent = true }, [])
+          else (st, []))
+      ;
+      is_halted = (fun st -> st.sent);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let states, stats = Simulator.run g program in
+  (states.(info.Tree_info.root).acc, stats)

@@ -1,0 +1,14 @@
+(** Tree convergecast: an associative-commutative combine of one value per
+    node, delivered to the root.
+
+    Leaves send immediately; an internal node forwards once all its children
+    have reported. One word per tree edge; [height + 1] rounds. *)
+
+val run :
+  Lcs_graph.Graph.t ->
+  Tree_info.t ->
+  values:int array ->
+  combine:(int -> int -> int) ->
+  int * Simulator.stats
+(** [run g info ~values ~combine] returns the combined value at the root
+    and the measured stats. *)

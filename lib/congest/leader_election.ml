@@ -1,0 +1,38 @@
+module Graph = Lcs_graph.Graph
+
+type state = { best : int; clock : int; announce : bool; budget : int }
+
+let run ?diameter_bound g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Leader_election.run: empty graph";
+  let budget = (match diameter_bound with Some d -> d | None -> n - 1) + 1 in
+  let program =
+    {
+      Simulator.init =
+        (fun ctx ->
+          { best = ctx.Simulator.node; clock = 0; announce = true; budget });
+      on_round =
+        (fun ctx st ~inbox ->
+          let st = { st with clock = st.clock + 1 } in
+          let st =
+            List.fold_left
+              (fun st (_port, id) ->
+                if id > st.best then { st with best = id; announce = true } else st)
+              st inbox
+          in
+          if st.clock > st.budget then (st, [])
+          else if st.announce then
+            ( { st with announce = false },
+              List.init (Array.length ctx.Simulator.neighbors) (fun p -> (p, st.best)) )
+          else (st, []))
+      ;
+      is_halted = (fun st -> st.clock > st.budget);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let states, stats = Simulator.run g program in
+  let leader = states.(0).best in
+  Array.iter
+    (fun st -> if st.best <> leader then failwith "Leader_election: disagreement")
+    states;
+  (leader, stats)

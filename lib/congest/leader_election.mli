@@ -1,0 +1,17 @@
+(** Leader election by max-id flooding.
+
+    Every node repeatedly forwards the largest id it has seen; after
+    [diameter_bound] quiet-capable rounds all nodes agree on the maximum
+    id. The classic KT1 protocol under a known diameter bound — [O(D)]
+    rounds, [O(m·D)] messages worst case (improvements refresh waves), in
+    practice [O(m)]-ish. Used to pick the BFS root distributedly instead
+    of hard-wiring vertex 0. *)
+
+val run :
+  ?diameter_bound:int ->
+  Lcs_graph.Graph.t ->
+  int * Simulator.stats
+(** [run g] returns the elected leader (= max vertex id, which every node
+    agrees on — asserted) and the stats. [diameter_bound] defaults to
+    [n - 1], the always-safe bound; pass the actual diameter for honest
+    O(D) rounds. *)

@@ -1,0 +1,117 @@
+module Graph = Lcs_graph.Graph
+
+type ctx = {
+  node : int;
+  neighbors : int array;
+  neighbor_edges : int array;
+}
+
+type 'msg outbox = (int * 'msg) list
+
+type ('state, 'msg) program = {
+  init : ctx -> 'state;
+  on_round : ctx -> 'state -> inbox:(int * 'msg) list -> 'state * 'msg outbox;
+  is_halted : 'state -> bool;
+  msg_words : 'msg -> int;
+}
+
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_edge_load : int;
+}
+
+exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
+exception Round_limit of int
+
+let make_ctx g v =
+  let adj = Graph.adj_list g v in
+  {
+    node = v;
+    neighbors = Array.of_list (List.map fst adj);
+    neighbor_edges = Array.of_list (List.map snd adj);
+  }
+
+(* reverse_ports.(v).(p) is the port at neighbor [w = neighbors.(p)] that
+   leads back to [v]; precomputed so delivery is O(1) per message. *)
+let reverse_ports ctxs =
+  let n = Array.length ctxs in
+  let port_of_edge = Hashtbl.create (4 * n) in
+  Array.iteri
+    (fun v ctx ->
+      Array.iteri (fun p e -> Hashtbl.replace port_of_edge (v, e) p) ctx.neighbor_edges)
+    ctxs;
+  Array.map
+    (fun ctx ->
+      Array.mapi
+        (fun p w -> Hashtbl.find port_of_edge (w, ctx.neighbor_edges.(p)))
+        ctx.neighbors)
+    ctxs
+
+let run ?(bandwidth = 1) ?(max_rounds = 100_000) g program =
+  if bandwidth < 1 then invalid_arg "Simulator.run: bandwidth";
+  let n = Graph.n g in
+  let ctxs = Array.init n (make_ctx g) in
+  let rev = reverse_ports ctxs in
+  let states = Array.map program.init ctxs in
+  let halted = Array.map program.is_halted states in
+  let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
+  (* inboxes.(v) holds (port, msg) in reversed arrival order. *)
+  let inboxes : (int * 'msg) list array = Array.make n [] in
+  let next_inboxes : (int * 'msg) list array = Array.make n [] in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let words = ref 0 in
+  let max_edge_load = ref 0 in
+  (* A node with an empty inbox whose last round produced no messages would
+     never change state again only if its program is quiescent; we cannot
+     know that, so we keep stepping until is_halted. *)
+  while !live > 0 do
+    if !rounds >= max_rounds then raise (Round_limit !rounds);
+    incr rounds;
+    (* Per-round, per-(node, port) word budget. *)
+    let budget = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        let inbox = List.rev inboxes.(v) in
+        inboxes.(v) <- [];
+        let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
+        states.(v) <- state;
+        List.iter
+          (fun (port, msg) ->
+            let ctx = ctxs.(v) in
+            if port < 0 || port >= Array.length ctx.neighbors then
+              invalid_arg "Simulator: bad port";
+            let size = program.msg_words msg in
+            if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
+            let key = (v, port) in
+            let used = match Hashtbl.find_opt budget key with Some u -> u | None -> 0 in
+            let used = used + size in
+            if used > bandwidth then
+              raise
+                (Bandwidth_exceeded
+                   { node = v; port; round = !rounds; words = used; limit = bandwidth });
+            Hashtbl.replace budget key used;
+            if used > !max_edge_load then max_edge_load := used;
+            incr messages;
+            words := !words + size;
+            let w = ctx.neighbors.(port) in
+            let back = rev.(v).(port) in
+            next_inboxes.(w) <- (back, msg) :: next_inboxes.(w))
+          outbox;
+        if program.is_halted state then begin
+          halted.(v) <- true;
+          decr live
+        end
+      end
+      else inboxes.(v) <- []
+    done;
+    for v = 0 to n - 1 do
+      inboxes.(v) <- next_inboxes.(v);
+      next_inboxes.(v) <- []
+    done
+  done;
+  ( states,
+    { rounds = !rounds; messages = !messages; words = !words; max_edge_load = !max_edge_load }
+  )

@@ -1,0 +1,60 @@
+(** Synchronous CONGEST-model network simulator.
+
+    The network is an undirected graph; computation proceeds in synchronous
+    rounds. In each round every non-halted node reads the messages delivered
+    to it, updates its local state, and emits at most [bandwidth] words per
+    incident edge (per direction). Messages sent in round [r] are delivered
+    at the start of round [r+1]. A word models the CONGEST model's
+    [O(log n)]-bit message; the default [bandwidth = 1] is the standard
+    model, and exceeding it raises {!Bandwidth_exceeded} — bounds claimed by
+    the protocols in this repository are therefore machine-enforced rather
+    than assumed.
+
+    Nodes are identified by graph vertex ids and address messages by {e
+    port} (index into their adjacency list), matching the model's
+    port-numbering convention; the context also exposes neighbor ids (the
+    customary KT1 assumption). *)
+
+type ctx = {
+  node : int;  (** this node's id *)
+  neighbors : int array;  (** neighbor ids in port order *)
+  neighbor_edges : int array;  (** host edge ids in port order *)
+}
+
+type 'msg outbox = (int * 'msg) list
+(** [(port, payload)] pairs. *)
+
+type ('state, 'msg) program = {
+  init : ctx -> 'state;
+  on_round : ctx -> 'state -> inbox:(int * 'msg) list -> 'state * 'msg outbox;
+      (** [inbox] lists [(port, payload)] of messages delivered this round,
+          in sending order. *)
+  is_halted : 'state -> bool;
+      (** A halted node no longer runs [on_round]; late messages to it are
+          dropped. The simulation stops when every node is halted. *)
+  msg_words : 'msg -> int;
+      (** Size accounting: how many O(log n)-bit words the payload needs.
+          Must be at least 1. *)
+}
+
+type stats = {
+  rounds : int;
+  messages : int;  (** total messages delivered *)
+  words : int;  (** total words delivered *)
+  max_edge_load : int;  (** max words on one edge-direction in one round *)
+}
+
+exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
+
+exception Round_limit of int
+(** Raised when [max_rounds] elapse with unfinished nodes. *)
+
+val run :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) program ->
+  'state array * stats
+(** Runs the program to completion. [bandwidth] defaults to 1 word;
+    [max_rounds] defaults to [100_000]. Returns each node's final state and
+    the round/message accounting. *)

@@ -1,0 +1,138 @@
+module Graph = Lcs_graph.Graph
+module Rooted_tree = Lcs_graph.Rooted_tree
+
+type msg =
+  | Join of int  (** sender's BFS depth *)
+  | Child  (** "you are my parent" *)
+  | Height of int  (** max absolute depth in the sender's subtree *)
+  | Gheight of int  (** global height, broadcast down *)
+
+type phase =
+  | Idle  (** not yet joined *)
+  | Announce  (** joined; must announce next round *)
+  | Collect  (** waiting the two rounds for Child notifications *)
+  | Gather  (** waiting for Height from children *)
+  | Wait_height  (** sent Height up; waiting for Gheight *)
+  | Finished
+
+type state = {
+  clock : int;
+  phase : phase;
+  dist : int;
+  parent_port : int;
+  children : int list;  (** ports *)
+  heights_needed : int;
+  best_height : int;
+  global_height : int;
+  announce_clock : int;
+}
+
+let initial is_root _ctx =
+  {
+    clock = 0;
+    phase = (if is_root then Announce else Idle);
+    dist = (if is_root then 0 else -1);
+    parent_port = -1;
+    children = [];
+    heights_needed = -1;
+    best_height = -1;
+    global_height = -1;
+    announce_clock = -1;
+  }
+
+let words = function Join _ | Child | Height _ | Gheight _ -> 1
+
+let on_round ctx state ~inbox =
+  let state = { state with clock = state.clock + 1 } in
+  (* 1. Absorb messages. *)
+  let state =
+    List.fold_left
+      (fun st (port, msg) ->
+        match msg with
+        | Join d ->
+            if st.dist < 0 then
+              { st with dist = d + 1; parent_port = port; phase = Announce }
+            else st
+        | Child -> { st with children = port :: st.children }
+        | Height h ->
+            {
+              st with
+              best_height = max st.best_height h;
+              heights_needed = st.heights_needed - 1;
+            }
+        | Gheight h -> { st with global_height = h })
+      state inbox
+  in
+  (* 2. Act according to phase. *)
+  let degree = Array.length ctx.Simulator.neighbors in
+  match state.phase with
+  | Idle -> (state, [])
+  | Announce ->
+      let out = ref [] in
+      for port = 0 to degree - 1 do
+        if port <> state.parent_port then out := (port, Join state.dist) :: !out
+      done;
+      if state.parent_port >= 0 then out := (state.parent_port, Child) :: !out;
+      ({ state with phase = Collect; announce_clock = state.clock }, !out)
+  | Collect ->
+      (* Children's Child messages arrive exactly two rounds after our
+         announcement: they hear us in round announce+1 and notify in round
+         announce+2. *)
+      if state.clock >= state.announce_clock + 2 then begin
+        let nchildren = List.length state.children in
+        if nchildren = 0 then
+          if state.parent_port < 0 then
+            (* Root with no children: trivial single-node tree. *)
+            ({ state with phase = Finished; global_height = 0 }, [])
+          else
+            ( { state with phase = Wait_height },
+              [ (state.parent_port, Height state.dist) ] )
+        else
+          ( { state with phase = Gather; heights_needed = nchildren;
+              best_height = state.dist },
+            [] )
+      end
+      else (state, [])
+  | Gather ->
+      if state.heights_needed = 0 then
+        if state.parent_port < 0 then
+          (* Root: learned the height; broadcast down. *)
+          ( { state with phase = Finished; global_height = state.best_height },
+            List.map (fun p -> (p, Gheight state.best_height)) state.children )
+        else
+          ( { state with phase = Wait_height },
+            [ (state.parent_port, Height state.best_height) ] )
+      else (state, [])
+  | Wait_height ->
+      if state.global_height >= 0 then
+        ( { state with phase = Finished },
+          List.map (fun p -> (p, Gheight state.global_height)) state.children )
+      else (state, [])
+  | Finished -> (state, [])
+
+let run ?max_rounds g ~root =
+  let program =
+    {
+      Simulator.init = (fun ctx -> initial (ctx.Simulator.node = root) ctx);
+      on_round;
+      is_halted = (fun st -> st.phase = Finished);
+      msg_words = words;
+    }
+  in
+  let states, stats = Simulator.run ?max_rounds g program in
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let ctx v = Graph.adj_list g v in
+  Array.iteri
+    (fun v st ->
+      if st.parent_port >= 0 then begin
+        let adj = Array.of_list (ctx v) in
+        let w, e = adj.(st.parent_port) in
+        parent.(v) <- w;
+        parent_edge.(v) <- e
+      end)
+    states;
+  let tree = Rooted_tree.create ~root ~parent ~parent_edge in
+  let height = states.(root).global_height in
+  (tree, height, stats)

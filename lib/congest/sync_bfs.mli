@@ -1,0 +1,18 @@
+(** Distributed breadth-first-search tree construction.
+
+    The classic CONGEST protocol: the root floods a join wave; every node
+    adopts the first announcement it hears as its parent, notifies the
+    parent, convergecasts the subtree height, and the root broadcasts the
+    global tree height back down. Completes in [O(D)] rounds with [O(m)]
+    messages — both are returned, measured, in {!Simulator.stats}.
+
+    The resulting tree (plus the height known at every node) is the [T] that
+    all tree-restricted shortcut machinery runs on. *)
+
+val run :
+  ?max_rounds:int ->
+  Lcs_graph.Graph.t ->
+  root:int ->
+  Lcs_graph.Rooted_tree.t * int * Simulator.stats
+(** [run g ~root] is [(tree, height, stats)]. On a disconnected graph some
+    node never joins and the simulation raises {!Simulator.Round_limit}. *)

@@ -1,0 +1,36 @@
+module Graph = Lcs_graph.Graph
+module Rooted_tree = Lcs_graph.Rooted_tree
+
+type node = {
+  parent_port : int;
+  child_ports : int array;
+  depth : int;
+}
+
+type t = {
+  nodes : node array;
+  height : int;
+  root : int;
+}
+
+let of_tree g tree =
+  let n = Graph.n g in
+  let nodes =
+    Array.init n (fun v ->
+        let parent = Rooted_tree.parent tree v in
+        let adj = Array.of_list (Graph.adj_list g v) in
+        let parent_port = ref (-1) in
+        let child_ports = ref [] in
+        Array.iteri
+          (fun port (w, e) ->
+            if w = parent && e = Rooted_tree.parent_edge tree v then parent_port := port
+            else if Rooted_tree.parent tree w = v && Rooted_tree.parent_edge tree w = e
+            then child_ports := port :: !child_ports)
+          adj;
+        {
+          parent_port = !parent_port;
+          child_ports = Array.of_list (List.rev !child_ports);
+          depth = Rooted_tree.depth tree v;
+        })
+  in
+  { nodes; height = Rooted_tree.height tree; root = Rooted_tree.root tree }

@@ -1,0 +1,21 @@
+(** Per-node local view of a rooted tree, for writing tree-based CONGEST
+    protocols.
+
+    After {!Sync_bfs} every node locally knows its parent port, child ports
+    and depth; this module packages exactly that knowledge (recomputed from
+    the tree, which is equivalent to what the protocol left at each node) so
+    later protocols can be written against it without re-deriving ports. *)
+
+type node = {
+  parent_port : int;  (** [-1] at the root *)
+  child_ports : int array;
+  depth : int;
+}
+
+type t = {
+  nodes : node array;
+  height : int;
+  root : int;
+}
+
+val of_tree : Lcs_graph.Graph.t -> Lcs_graph.Rooted_tree.t -> t

@@ -1,0 +1,13 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - [e14]: the random-delays scheduling policy against FIFO and a static
+      part order, on contended instances — the knob behind the
+      [O(c + d log n)] aggregation bound.
+    - [e15]: the constant in the overcongestion threshold [c = α·D] (the
+      paper uses α = 8δ): coverage/congestion/block trade-off as α sweeps.
+    - [e16]: the two aggregation engines — idempotent min-flooding vs
+      tree convergecast (sums) — on the same instances, both verified. *)
+
+val e14 : ?seed:int -> unit -> Exp_types.outcome
+val e15 : ?seed:int -> unit -> Exp_types.outcome
+val e16 : ?seed:int -> unit -> Exp_types.outcome

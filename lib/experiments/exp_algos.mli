@@ -1,0 +1,15 @@
+(** Downstream-algorithm experiments.
+
+    - [e8]: Corollary 1.6 — Borůvka MST with Theorem 3.1 shortcuts vs the
+      BFS-tree baseline vs no shortcuts; measured PA rounds per instance,
+      verified against Kruskal.
+    - [e9]: Corollary 1.7 — the sampling min-cut estimator against
+      Stoer–Wagner, with the [λ <= min degree] observation, and the
+      aggregation-round accounting. *)
+
+val e8 : ?seed:int -> unit -> Exp_types.outcome
+val e9 : ?seed:int -> unit -> Exp_types.outcome
+
+val e18 : ?seed:int -> unit -> Exp_types.outcome
+(** Distributed SSSP: BFS rounds vs D and Bellman–Ford convergence vs the
+    weighted-hop diameter, verified against Dijkstra. *)

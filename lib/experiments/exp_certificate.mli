@@ -1,0 +1,11 @@
+(** Certificate and trace experiments.
+
+    - [e11]: case (II) of the Theorem 3.1 proof — force failed runs and
+      extract verified dense-minor certificates; report densities against
+      targets.
+    - [e12]: the Figure 3.1 anatomy — a trace of one construction run
+      (overcongested edges per level, blame-graph statistics) plus the
+      Figure 3.2 ASCII sketch. *)
+
+val e11 : ?seed:int -> unit -> Exp_types.outcome
+val e12 : ?seed:int -> unit -> Exp_types.outcome

@@ -1,0 +1,14 @@
+(** Theorem 1.5: the distributed construction on the CONGEST simulator.
+
+    [e6] sweeps grid sizes and reports, for both the randomized (min-hash)
+    and deterministic (truncated-id) detection waves: BFS rounds, wave
+    rounds, total messages, and their relation to the [Õ(δD)] / [Õ(δD²)]
+    bounds and to [Õ(m)] message complexity. *)
+
+val e6 : ?seed:int -> unit -> Exp_types.outcome
+
+val e17 : ?seed:int -> unit -> Exp_types.outcome
+(** The whole pipeline inside the enforced model: leader election → BFS
+    tree → detection wave → part-wise aggregation, every stage a real
+    simulator run under 1-word bandwidth, with the per-stage and total
+    round counts against the [Õ(δD)] target. *)

@@ -1,0 +1,10 @@
+(** Part-wise aggregation experiments.
+
+    - [e7]: PA rounds over grids with three shortcut providers (Theorem 3.1
+      boosted, the [D+√n] baseline, none) against the random-delays bound
+      [c + d·log n].
+    - [e10]: the Section 2 wheel-graph motivation — part diameter [Θ(n)]
+      inside a diameter-2 network; PA rounds with and without shortcuts. *)
+
+val e7 : ?seed:int -> unit -> Exp_types.outcome
+val e10 : ?seed:int -> unit -> Exp_types.outcome

@@ -1,0 +1,357 @@
+open Core
+
+let fmt = Table.fmt_float
+
+let measure_construct partition ~tree =
+  let result, delta = Construct.auto partition ~tree in
+  let r = Quality.measure result.Construct.shortcut in
+  (result, delta, r)
+
+(* --- E1: Theorem 3.1 on grids ------------------------------------------- *)
+
+let e1 ?(seed = 1) () =
+  let table =
+    Table.create
+      ~title:"Theorem 3.1 on sqrt(n) x sqrt(n) grids (planar: delta(G) < 3)"
+      [
+        ("parts", Table.Left); ("n", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("delta*", Table.Right); ("cong", Table.Right);
+        ("8dD", Table.Right); ("blk", Table.Right); ("8d", Table.Right);
+        ("dil", Table.Right); ("obs2.6", Table.Right); ("cov", Table.Right);
+      ]
+  in
+  let run name partition tree =
+    let result, delta, r = measure_construct partition ~tree in
+    let d = max 1 (Rooted_tree.height tree) in
+    Table.add_row table
+      [
+        name;
+        string_of_int (Graph.n (Partition.graph partition));
+        string_of_int d;
+        string_of_int (Partition.k partition);
+        string_of_int delta;
+        string_of_int r.Quality.congestion;
+        string_of_int result.Construct.threshold;
+        string_of_int r.Quality.max_block_number;
+        string_of_int result.Construct.block_budget;
+        string_of_int r.Quality.dilation;
+        string_of_int (r.Quality.max_block_number * ((2 * d) + 1));
+        Printf.sprintf "%d/%d" result.Construct.selected_count (Partition.k partition);
+      ]
+  in
+  List.iter
+    (fun side ->
+      let g = Generators.grid ~rows:side ~cols:side in
+      let tree = Bfs.tree g ~root:0 in
+      run (Printf.sprintf "rows %dx%d" side side)
+        (Partition.grid_rows g ~rows:side ~cols:side)
+        tree;
+      let voronoi =
+        Partition.voronoi g (Rng.create (seed + side)) ~parts:(2 * side)
+      in
+      run (Printf.sprintf "voro %dx%d" side side) voronoi tree;
+      (* Singletons: k = n >> 8δD, the regime where edges actually become
+         overcongested and the blame machinery engages. *)
+      run (Printf.sprintf "sing %dx%d" side side) (Partition.singletons g) tree)
+    [ 12; 16; 24; 32; 48 ];
+  {
+    Exp_types.id = "E1";
+    title = "partial shortcuts: congestion <= 8*delta*D, blocks <= 8*delta";
+    table;
+    notes =
+      [
+        "delta* = smallest delta accepted by the doubling search; planarity \
+         promises delta(G) < 3, so delta* <= 4.";
+        "cov = parts covered by the partial shortcut (Theorem 3.1 promises \
+         at least half).";
+      ];
+  }
+
+(* --- E2: the Figure 3.2 lower-bound topology ------------------------------ *)
+
+let e2 ?(seed = 2) () =
+  ignore seed;
+  let table =
+    Table.create ~title:"Lemma 3.2 lower-bound topology (Figure 3.2)"
+      [
+        ("delta'", Table.Right); ("D'", Table.Right); ("n", Table.Right);
+        ("diam", Table.Right); ("k", Table.Right); ("floor", Table.Right);
+        ("quality", Table.Right); ("q/floor", Table.Right);
+        ("baseQ", Table.Right); ("trivQ", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (delta', d') ->
+      let lb = Lower_bound_graph.create ~delta' ~d' in
+      let g = lb.Lower_bound_graph.graph in
+      let tree = Bfs.tree g ~root:0 in
+      let b = Boost.full lb.Lower_bound_graph.parts ~tree in
+      let r = Quality.measure b.Boost.shortcut in
+      let base = Baseline.bfs_tree lb.Lower_bound_graph.parts ~tree in
+      let rb = Quality.measure base.Baseline.shortcut in
+      let trivial =
+        Quality.measure (Shortcut.empty lb.Lower_bound_graph.parts)
+      in
+      let floor = lb.Lower_bound_graph.quality_lower_bound in
+      Table.add_row table
+        [
+          string_of_int delta';
+          string_of_int d';
+          string_of_int (Graph.n g);
+          string_of_int (Diameter.of_graph g);
+          string_of_int (Partition.k lb.Lower_bound_graph.parts);
+          fmt floor;
+          string_of_int r.Quality.quality;
+          fmt (float_of_int r.Quality.quality /. floor);
+          string_of_int rb.Quality.quality;
+          string_of_int trivial.Quality.quality;
+        ])
+    [ (5, 16); (5, 30); (6, 28); (7, 45); (8, 50) ];
+  {
+    Exp_types.id = "E2";
+    title = "every shortcut has quality >= (delta-1)D/2 = Theta(delta'*D')";
+    table;
+    notes =
+      [
+        "floor = (delta-1)*D/2, the quality floor proven in Lemma 3.2; \
+         measured quality must stay above it (q/floor >= 1).";
+        "baseQ = quality of the D+sqrt(n) BFS-tree baseline, trivQ = the \
+         empty shortcut (parts confined to their rows, dilation = row \
+         length). The instance is built so nothing beats Theta(delta*D): \
+         the floor holds for all three columns, with trivQ = 2*floor \
+         exactly.";
+        Lower_bound_graph.ascii_sketch (Lower_bound_graph.create ~delta':5 ~d':16);
+      ];
+  }
+
+(* --- E3: boosting (Observations 2.6 and 2.7) ------------------------------ *)
+
+let e3 ?(seed = 3) () =
+  let table =
+    Table.create ~title:"Partial -> full boosting (Observation 2.7)"
+      [
+        ("instance", Table.Left); ("k", Table.Right); ("log2k", Table.Right);
+        ("iters", Table.Right); ("thr", Table.Right); ("cong", Table.Right);
+        ("cong/thr", Table.Right); ("dil", Table.Right);
+      ]
+  in
+  let log2 k = int_of_float (Float.ceil (log (float_of_int (max 2 k)) /. log 2.)) in
+  let run name partition tree =
+    let b = Boost.full partition ~tree in
+    let r = Quality.measure b.Boost.shortcut in
+    let k = Partition.k partition in
+    Table.add_row table
+      [
+        name;
+        string_of_int k;
+        string_of_int (log2 k);
+        string_of_int b.Boost.iterations;
+        string_of_int b.Boost.threshold;
+        string_of_int r.Quality.congestion;
+        fmt (float_of_int r.Quality.congestion /. float_of_int (max 1 b.Boost.threshold));
+        string_of_int r.Quality.dilation;
+      ]
+  in
+  List.iter
+    (fun side ->
+      let g = Generators.grid ~rows:side ~cols:side in
+      let tree = Bfs.tree g ~root:0 in
+      run (Printf.sprintf "grid %d rows" side)
+        (Partition.grid_rows g ~rows:side ~cols:side)
+        tree;
+      run
+        (Printf.sprintf "grid %d voro" side)
+        (Partition.voronoi g (Rng.create (seed + side)) ~parts:(4 * side))
+        tree)
+    [ 16; 24; 32 ];
+  let lb = Lower_bound_graph.create ~delta':6 ~d':28 in
+  let tree = Bfs.tree lb.Lower_bound_graph.graph ~root:0 in
+  run "fig3.2 (6,28)" lb.Lower_bound_graph.parts tree;
+  {
+    Exp_types.id = "E3";
+    title = "boost iterations <= ceil(log2 k) + 1; congestion inflation <= iters";
+    table;
+    notes =
+      [ "cong/thr is the measured congestion inflation of the boosting loop." ];
+  }
+
+(* --- E4: genus sweep (Corollary 1.4) -------------------------------------- *)
+
+let e4 ?(seed = 4) () =
+  let table =
+    Table.create
+      ~title:"Corollary 1.4 regime: blown-up cliques K_b (genus Theta(b^2), delta Theta(b) = Theta(sqrt g))"
+      [
+        ("blocks", Table.Right); ("n", Table.Right); ("D", Table.Right);
+        ("g(K_b)", Table.Right); ("d_lb", Table.Right); ("delta*", Table.Right);
+        ("quality", Table.Right); ("sqrt(g)D", Table.Right);
+        ("q/(sqrt(g)D)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun blocks ->
+      let side = 8 in
+      let g = Generators.clique_of_grids ~blocks ~side in
+      (* Many Voronoi cells (k = n/8) rather than the block partition: the
+         stressed regime where the doubling search actually has to track
+         the instance's minor density. *)
+      let partition =
+        Partition.voronoi g (Rng.create (seed + blocks)) ~parts:(Graph.n g / 8)
+      in
+      let block_parts = Generators.block_partition ~blocks ~side g in
+      let tree = Bfs.tree g ~root:0 in
+      let result, delta, r = measure_construct partition ~tree in
+      ignore result;
+      let d = max 1 (Rooted_tree.height tree) in
+      let genus = max 1 (((blocks - 3) * (blocks - 4)) / 12) in
+      let bound = sqrt (float_of_int genus) *. float_of_int d in
+      Table.add_row table
+        [
+          string_of_int blocks;
+          string_of_int (Graph.n g);
+          string_of_int d;
+          string_of_int genus;
+          fmt (Minor_density.partition_lower g block_parts);
+          string_of_int delta;
+          string_of_int r.Quality.quality;
+          fmt bound;
+          fmt (float_of_int r.Quality.quality /. bound);
+        ])
+    [ 4; 6; 8; 12; 16 ];
+  {
+    Exp_types.id = "E4";
+    title = "genus-g graphs: quality scales as sqrt(g)*D (up to logs)";
+    table;
+    notes =
+      [
+        "g(K_b) = ceil((b-3)(b-4)/12), the genus of the K_b minor each \
+         instance contains; d_lb = certified minor-density lower bound from \
+         contracting blocks ((b-1)/2).";
+        "q/(sqrt(g)D) staying O(1)-ish across the sweep is the corollary's \
+         shape.";
+      ];
+  }
+
+(* --- E5: treewidth sweep (Corollary 3.4) ----------------------------------- *)
+
+let e5 ?(seed = 5) () =
+  let table =
+    Table.create
+      ~title:"Corollary 3.4 regime: treewidth-k families (delta <= k)"
+      [
+        ("family", Table.Left); ("k", Table.Right); ("n", Table.Right);
+        ("D", Table.Right); ("parts", Table.Right); ("delta*", Table.Right);
+        ("quality", Table.Right); ("kD", Table.Right); ("q/kD", Table.Right);
+      ]
+  in
+  let run family k g parts_count =
+    let partition = Partition.voronoi g (Rng.create (seed + (100 * k))) ~parts:parts_count in
+    let tree = Bfs.tree g ~root:0 in
+    let _result, delta, r = measure_construct partition ~tree in
+    let d = max 1 (Rooted_tree.height tree) in
+    let bound = k * d in
+    Table.add_row table
+      [
+        family;
+        string_of_int k;
+        string_of_int (Graph.n g);
+        string_of_int d;
+        string_of_int (Partition.k partition);
+        string_of_int delta;
+        string_of_int r.Quality.quality;
+        string_of_int bound;
+        fmt (float_of_int r.Quality.quality /. float_of_int bound);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let n = 1200 in
+      run "k-tree" k (Generators.k_tree (Rng.create (seed + k)) ~k ~n) 40)
+    [ 2; 4; 8; 12; 16 ];
+  (* Path powers: treewidth exactly k with diameter (n-1)/k — the
+     large-diameter end of the treewidth family. *)
+  List.iter
+    (fun k -> run "path^k" k (Generators.path_power ~n:1200 ~k) 40)
+    [ 2; 4; 8; 12; 16 ];
+  {
+    Exp_types.id = "E5";
+    title = "treewidth-k graphs: quality O(kD log n)";
+    table;
+    notes =
+      [
+        "Random k-trees have polylog diameter (k-dominated bound); path \
+         powers have diameter (n-1)/k (D-dominated bound). q/kD staying \
+         O(1) across both ends is the corollary's shape.";
+      ];
+  }
+
+(* --- E13: the D+sqrt(n) baseline ------------------------------------------- *)
+
+let e13 ?(seed = 13) () =
+  let table =
+    Table.create ~title:"General-graph baseline vs Theorem 3.1"
+      [
+        ("instance", Table.Left); ("n", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("thm31 Q", Table.Right); ("base Q", Table.Right);
+        ("D+sqrt(n)", Table.Right);
+      ]
+  in
+  let run name g partition =
+    let tree = Bfs.tree g ~root:0 in
+    let b = Boost.full partition ~tree in
+    let r = Quality.measure b.Boost.shortcut in
+    let base = Baseline.bfs_tree partition ~tree in
+    let rb = Quality.measure base.Baseline.shortcut in
+    let d = max 1 (Rooted_tree.height tree) in
+    Table.add_row table
+      [
+        name;
+        string_of_int (Graph.n g);
+        string_of_int d;
+        string_of_int (Partition.k partition);
+        string_of_int r.Quality.quality;
+        string_of_int rb.Quality.quality;
+        string_of_int (d + int_of_float (Float.ceil (sqrt (float_of_int (Graph.n g)))));
+      ]
+  in
+  List.iter
+    (fun side ->
+      let g = Generators.grid ~rows:side ~cols:side in
+      run (Printf.sprintf "grid %dx%d rows" side side)
+        g
+        (Partition.grid_rows g ~rows:side ~cols:side))
+    [ 16; 32; 48 ];
+  (* Wheels with the rim split into sqrt(n) arcs: D = 2 but every part is
+     large, so the baseline pays its congestion sqrt(n) while Theorem 3.1
+     routes each arc through its own spokes at congestion O(1). This is
+     the D << sqrt(n) regime where shortcuts beat Kutten-Peleg. *)
+  List.iter
+    (fun n ->
+      let g = Generators.wheel n in
+      let rim = n - 1 in
+      let arcs = int_of_float (sqrt (float_of_int n)) / 2 in
+      let arc_of i = min (arcs - 1) (i * arcs / rim) in
+      let partition =
+        Partition.of_assignment g
+          (Array.init n (fun v -> if v = 0 then -1 else arc_of (v - 1)))
+      in
+      run (Printf.sprintf "wheel %d, %d arcs" n arcs) g partition)
+    [ 1024; 4096 ];
+  let er = Generators.erdos_renyi_connected (Rng.create seed) ~n:600 ~p:0.02 in
+  run "ER n=600 p=.02 voro"
+    er
+    (Partition.voronoi er (Rng.create (seed + 1)) ~parts:30);
+  {
+    Exp_types.id = "E13";
+    title = "Theorem 3.1 beats the D+sqrt(n) baseline on minor-sparse graphs";
+    table;
+    notes =
+      [
+        "Grids have D = 2*sqrt(n), so there the two coincide by \
+         construction; the wheel rows are the D << sqrt(n) regime where \
+         Theorem 3.1's O(delta*D) decisively beats D+sqrt(n).";
+        "On dense ER controls the baseline is competitive (delta(G) is \
+         large there), matching the theory: the win is specific to \
+         minor-sparse families.";
+      ];
+  }

@@ -1,0 +1,23 @@
+(** Existential-quality experiments: the bound-vs-measured tables for
+    Theorem 3.1 and its corollaries.
+
+    - [e1]: Theorem 3.1 on planar grids — congestion vs [8δD], block number
+      vs [8δ], dilation vs Observation 2.6, over a size sweep and two part
+      families (rows, BFS-Voronoi).
+    - [e2]: Lemma 3.2 / Figure 3.2 — the lower-bound topology: measured
+      quality of our best shortcut against the proven floor [(δ-1)D/2].
+    - [e3]: Observation 2.6/2.7 — boosting iterations vs [⌈log₂ k⌉] and the
+      congestion inflation of partial → full.
+    - [e4]: Corollary 1.4 — genus sweep via blown-up cliques
+      ([δ = Θ(√g)]); quality vs [√g·D].
+    - [e5]: Corollary 3.4 — treewidth sweep via random k-trees; quality vs
+      [kD].
+    - [e13]: prior-work baseline — the [D+√n] BFS-tree shortcut against
+      Theorem 3.1 on grids and Erdős–Rényi controls. *)
+
+val e1 : ?seed:int -> unit -> Exp_types.outcome
+val e2 : ?seed:int -> unit -> Exp_types.outcome
+val e3 : ?seed:int -> unit -> Exp_types.outcome
+val e4 : ?seed:int -> unit -> Exp_types.outcome
+val e5 : ?seed:int -> unit -> Exp_types.outcome
+val e13 : ?seed:int -> unit -> Exp_types.outcome

@@ -1,0 +1,12 @@
+type outcome = {
+  id : string;
+  title : string;
+  table : Core.Table.t;
+  notes : string list;
+}
+
+let print o =
+  Printf.printf "== %s: %s ==\n" o.id o.title;
+  Core.Table.print o.table;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) o.notes;
+  print_newline ()

@@ -1,0 +1,12 @@
+(** Common shape of an experiment: a titled table plus free-form notes,
+    regenerable from a single seed. *)
+
+type outcome = {
+  id : string;  (** e.g. "E1" *)
+  title : string;
+  table : Core.Table.t;
+  notes : string list;
+}
+
+val print : outcome -> unit
+(** Render the outcome (header, table, notes) to stdout. *)

@@ -1,0 +1,32 @@
+let all =
+  [
+    ("E1", Exp_quality.e1);
+    ("E2", Exp_quality.e2);
+    ("E3", Exp_quality.e3);
+    ("E4", Exp_quality.e4);
+    ("E5", Exp_quality.e5);
+    ("E6", Exp_distributed.e6);
+    ("E7", Exp_partwise.e7);
+    ("E8", Exp_algos.e8);
+    ("E9", Exp_algos.e9);
+    ("E10", Exp_partwise.e10);
+    ("E11", Exp_certificate.e11);
+    ("E12", Exp_certificate.e12);
+    ("E13", Exp_quality.e13);
+    ("E14", Exp_ablation.e14);
+    ("E15", Exp_ablation.e15);
+    ("E16", Exp_ablation.e16);
+    ("E17", Exp_distributed.e17);
+    ("E18", Exp_algos.e18);
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.assoc_opt id all
+
+let run_all ?seed () =
+  List.iter
+    (fun (_id, f) ->
+      let outcome = f ?seed () in
+      Exp_types.print outcome)
+    all

@@ -1,0 +1,83 @@
+let distances_filtered g ~src ~allow =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
+  if not (allow src) then invalid_arg "Bfs: source not allowed";
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_adj g v (fun w _e ->
+        if dist.(w) < 0 && allow w then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+  done;
+  dist
+
+let distances g ~src = distances_filtered g ~src ~allow:(fun _ -> true)
+
+let tree g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Bfs.tree: root out of range";
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(root) <- true;
+  Queue.add root queue;
+  let seen = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_adj g v (fun w e ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          parent.(w) <- v;
+          parent_edge.(w) <- e;
+          incr seen;
+          Queue.add w queue
+        end)
+  done;
+  if !seen <> n then invalid_arg "Bfs.tree: graph is not connected";
+  Rooted_tree.create ~root ~parent ~parent_edge
+
+let multi_source g ~sources =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s >= n then invalid_arg "Bfs.multi_source: source out of range";
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        owner.(s) <- i;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_adj g v (fun w _e ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          owner.(w) <- owner.(v);
+          Queue.add w queue
+        end)
+  done;
+  (dist, owner)
+
+let farthest g v =
+  let dist = distances g ~src:v in
+  let best = ref v and best_d = ref 0 in
+  Array.iteri
+    (fun w d ->
+      if d < 0 then invalid_arg "Bfs: graph is disconnected";
+      if d > !best_d then begin
+        best := w;
+        best_d := d
+      end)
+    dist;
+  (!best, !best_d)
+
+let eccentricity g v = snd (farthest g v)

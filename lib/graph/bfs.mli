@@ -1,0 +1,25 @@
+(** Breadth-first search: distances, BFS spanning trees, multi-source
+    Voronoi sweeps. All distances are hop counts; unreachable vertices get
+    [-1]. *)
+
+val distances : Graph.t -> src:int -> int array
+
+val distances_filtered : Graph.t -> src:int -> allow:(int -> bool) -> int array
+(** BFS restricted to vertices satisfying [allow] (the source must). *)
+
+val tree : Graph.t -> root:int -> Rooted_tree.t
+(** BFS spanning tree from [root]. Raises [Invalid_argument] if the graph is
+    not connected (trees in this repository always span all vertices). *)
+
+val multi_source : Graph.t -> sources:int array -> int array * int array
+(** [(dist, owner)]: hop distance to the nearest source and the index (into
+    [sources]) of that source. Ties go to the source appearing first in the
+    initial queue, so cells are deterministic. Each Voronoi cell is
+    connected, which makes this the standard part generator. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Max distance from the vertex. Raises [Invalid_argument] if the graph is
+    disconnected. *)
+
+val farthest : Graph.t -> int -> int * int
+(** [(vertex, distance)] attaining the eccentricity. *)

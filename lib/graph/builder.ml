@@ -1,0 +1,29 @@
+type t = {
+  n : int;
+  seen : (int * int, unit) Hashtbl.t;
+  mutable rev_edges : (int * int) list;
+  mutable count : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Builder.create";
+  { n; seen = Hashtbl.create 64; rev_edges = []; count = 0 }
+
+let n t = t.n
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let add_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Builder.add_edge: endpoint out of range";
+  if u = v then invalid_arg "Builder.add_edge: self-loop";
+  let k = key u v in
+  if not (Hashtbl.mem t.seen k) then begin
+    Hashtbl.add t.seen k ();
+    t.rev_edges <- k :: t.rev_edges;
+    t.count <- t.count + 1
+  end
+
+let mem_edge t u v = Hashtbl.mem t.seen (key u v)
+let edge_count t = t.count
+let graph t = Graph.create ~n:t.n (List.rev t.rev_edges)

@@ -1,0 +1,23 @@
+(** Mutable edge accumulator for constructing {!Graph.t} values.
+
+    Generators add edges freely; duplicates (in either orientation) are
+    silently dropped, which keeps generator code simple, while self-loops
+    still raise since they always indicate a generator bug. *)
+
+type t
+
+val create : n:int -> t
+(** A builder over vertices [0..n-1]. *)
+
+val n : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent. Raises [Invalid_argument] on self-loops or out-of-range
+    endpoints. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edge_count : t -> int
+
+val graph : t -> Graph.t
+(** Edge ids follow first-insertion order. *)

@@ -1,0 +1,44 @@
+let labels g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if label.(v) < 0 then begin
+      let c = !next in
+      incr next;
+      label.(v) <- c;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Graph.iter_adj g u (fun w _e ->
+            if label.(w) < 0 then begin
+              label.(w) <- c;
+              Queue.add w queue
+            end)
+      done
+    end
+  done;
+  (label, !next)
+
+let count g = snd (labels g)
+let is_connected g = Graph.n g = 0 || count g = 1
+
+let vertex_sets g =
+  let label, k = labels g in
+  let acc = Array.make k [] in
+  for v = Graph.n g - 1 downto 0 do
+    acc.(label.(v)) <- v :: acc.(label.(v))
+  done;
+  acc
+
+let is_vertex_set_connected g vs =
+  match vs with
+  | [] -> false
+  | first :: _ ->
+      let member = Hashtbl.create (2 * List.length vs) in
+      List.iter (fun v -> Hashtbl.replace member v ()) vs;
+      let dist =
+        Bfs.distances_filtered g ~src:first ~allow:(fun v -> Hashtbl.mem member v)
+      in
+      List.for_all (fun v -> dist.(v) >= 0) vs

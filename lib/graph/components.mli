@@ -1,0 +1,16 @@
+(** Connected components. *)
+
+val labels : Graph.t -> int array * int
+(** [(label, count)]: component labels in [0..count-1], assigned in order of
+    smallest contained vertex. *)
+
+val is_connected : Graph.t -> bool
+
+val count : Graph.t -> int
+
+val vertex_sets : Graph.t -> int list array
+(** Component index to its vertices (ascending). *)
+
+val is_vertex_set_connected : Graph.t -> int list -> bool
+(** Whether the induced subgraph on the given vertices is connected (an
+    empty set is not). Used to validate parts. *)

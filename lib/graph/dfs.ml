@@ -1,0 +1,110 @@
+(* Iterative Tarjan lowlink over all components. The stack holds
+   (vertex, incoming edge id, adjacency cursor); low and tin are the usual
+   discovery times and lowlinks. Parallel edges are absent by construction
+   (Graph.create rejects them), so skipping the single incoming edge id is
+   the correct tree-edge exclusion. *)
+
+let lowlink_scan g ~on_bridge ~on_articulation =
+  let n = Graph.n g in
+  let tin = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let clock = ref 0 in
+  let adj = Array.init n (fun v -> Array.of_list (Graph.adj_list g v)) in
+  for root = 0 to n - 1 do
+    if tin.(root) < 0 then begin
+      let root_children = ref 0 in
+      let stack = ref [ (root, -1, ref 0) ] in
+      tin.(root) <- !clock;
+      low.(root) <- !clock;
+      incr clock;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, in_edge, cursor) :: rest ->
+            if !cursor < Array.length adj.(v) then begin
+              let w, e = adj.(v).(!cursor) in
+              incr cursor;
+              if e <> in_edge then begin
+                if tin.(w) < 0 then begin
+                  (* tree edge *)
+                  if v = root then incr root_children;
+                  tin.(w) <- !clock;
+                  low.(w) <- !clock;
+                  incr clock;
+                  stack := (w, e, ref 0) :: !stack
+                end
+                else if tin.(w) < low.(v) then low.(v) <- tin.(w)
+              end
+            end
+            else begin
+              (* retreat from v *)
+              stack := rest;
+              match rest with
+              | (p, _, _) :: _ ->
+                  if low.(v) < low.(p) then low.(p) <- low.(v);
+                  if low.(v) > tin.(p) then on_bridge in_edge;
+                  if p <> root && low.(v) >= tin.(p) then on_articulation p
+              | [] -> ()
+            end
+      done;
+      if !root_children >= 2 then on_articulation root
+    end
+  done
+
+let preorder g ~root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Dfs.preorder";
+  let order = Array.make n (-1) in
+  let clock = ref 0 in
+  let adj = Array.init n (fun v -> Array.of_list (Graph.adj_list g v)) in
+  let stack = ref [ (root, ref 0) ] in
+  order.(root) <- !clock;
+  incr clock;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, cursor) :: rest ->
+        if !cursor < Array.length adj.(v) then begin
+          let w, _e = adj.(v).(!cursor) in
+          incr cursor;
+          if order.(w) < 0 then begin
+            order.(w) <- !clock;
+            incr clock;
+            stack := (w, ref 0) :: !stack
+          end
+        end
+        else stack := rest
+  done;
+  order
+
+let bridges g =
+  let acc = ref [] in
+  lowlink_scan g ~on_bridge:(fun e -> acc := e :: !acc) ~on_articulation:(fun _ -> ());
+  List.sort_uniq compare !acc
+
+let articulation_points g =
+  let acc = ref [] in
+  lowlink_scan g ~on_bridge:(fun _ -> ()) ~on_articulation:(fun v -> acc := v :: !acc);
+  List.sort_uniq compare !acc
+
+let two_edge_components g =
+  let bridge_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace bridge_set e ()) (bridges g);
+  let uf = Union_find.create (Graph.n g) in
+  Graph.iter_edges g (fun e u v ->
+      if not (Hashtbl.mem bridge_set e) then ignore (Union_find.union uf u v));
+  (* Compact labels by smallest vertex. *)
+  let label = Array.make (Graph.n g) (-1) in
+  let next = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let r = Union_find.find uf v in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end;
+    label.(v) <- label.(r)
+  done;
+  (label, !next)
+
+let is_two_edge_connected g =
+  Graph.n g >= 2 && Components.is_connected g && bridges g = []

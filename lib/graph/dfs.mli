@@ -1,0 +1,25 @@
+(** Depth-first search and its classic by-products: preorder, bridges,
+    articulation points, and 2-edge-connected components (Tarjan lowlink,
+    iterative — safe on deep graphs).
+
+    Bridges give the exact answer to "is the min cut 1?", the first rung of
+    the min-cut ladder ({!Lcs_algos.Mincut}). *)
+
+val preorder : Graph.t -> root:int -> int array
+(** Visit order (position per vertex; [-1] if unreachable from [root]).
+    Neighbors are explored in adjacency order. *)
+
+val bridges : Graph.t -> int list
+(** Edge ids whose removal disconnects their component. Works on
+    disconnected graphs (per component). Ascending order. *)
+
+val articulation_points : Graph.t -> int list
+(** Vertices whose removal increases the component count. Ascending. *)
+
+val two_edge_components : Graph.t -> int array * int
+(** [(label, count)]: components after deleting all bridges — the
+    2-edge-connected components. Labels in [0..count-1], ordered by
+    smallest contained vertex. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected with no bridges (and at least 2 vertices). *)

@@ -1,0 +1,26 @@
+let exact g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Diameter.exact: empty graph";
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Bfs.eccentricity g v in
+    if d > !best then best := d
+  done;
+  !best
+
+type bounds = { lower : int; upper : int }
+
+let estimate ?(sweeps = 4) g =
+  if Graph.n g = 0 then invalid_arg "Diameter.estimate: empty graph";
+  let lower = ref 0 and upper = ref max_int in
+  let v = ref 0 in
+  for _ = 1 to sweeps do
+    let far, ecc = Bfs.farthest g !v in
+    if ecc > !lower then lower := ecc;
+    if 2 * ecc < !upper then upper := 2 * ecc;
+    v := far
+  done;
+  { lower = !lower; upper = max !lower !upper }
+
+let of_graph ?(exact_limit = 2048) g =
+  if Graph.n g <= exact_limit then exact g else (estimate g).lower

@@ -1,0 +1,23 @@
+(** Graph diameter (hop metric).
+
+    Exact computation BFSes from every vertex and is used for the small
+    graphs of the unit tests; [estimate] uses the iterated double-sweep
+    heuristic plus an eccentricity upper bound and is what the experiment
+    harnesses use on large inputs. All functions raise [Invalid_argument] on
+    disconnected graphs. *)
+
+val exact : Graph.t -> int
+(** O(n·m); intended for graphs up to a few thousand vertices. *)
+
+type bounds = { lower : int; upper : int }
+
+val estimate : ?sweeps:int -> Graph.t -> bounds
+(** Iterated double sweep: [lower] is the largest eccentricity seen, [upper]
+    is twice the minimum eccentricity seen (tree-like bound). [sweeps]
+    defaults to 4. On trees and many practical graphs [lower = upper]
+    collapses to the exact value. *)
+
+val of_graph : ?exact_limit:int -> Graph.t -> int
+(** [exact] when [n <= exact_limit] (default 2048), otherwise the
+    double-sweep lower bound, which is exact on every family the experiment
+    harness generates. *)

@@ -1,0 +1,226 @@
+module Rng = Lcs_util.Rng
+
+let path n =
+  if n < 1 then invalid_arg "Generators.path";
+  Graph.create ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle";
+  Graph.create ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  if n < 1 then invalid_arg "Generators.complete";
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n (List.rev !edges)
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star";
+  Graph.create ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let wheel n =
+  if n < 4 then invalid_arg "Generators.wheel";
+  let rim = n - 1 in
+  let b = Builder.create ~n in
+  for i = 1 to rim do
+    Builder.add_edge b 0 i;
+    Builder.add_edge b i (if i = rim then 1 else i + 1)
+  done;
+  Builder.graph b
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id r c = (r * cols) + c in
+  let b = Builder.create ~n:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Builder.add_edge b (id r c) (id r (c + 1));
+      if r + 1 < rows then Builder.add_edge b (id r c) (id (r + 1) c)
+    done
+  done;
+  Builder.graph b
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
+  let id r c = (r * cols) + c in
+  let b = Builder.create ~n:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Builder.add_edge b (id r c) (id r ((c + 1) mod cols));
+      Builder.add_edge b (id r c) (id ((r + 1) mod rows) c)
+    done
+  done;
+  Builder.graph b
+
+let binary_tree ~depth =
+  if depth < 0 then invalid_arg "Generators.binary_tree";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for v = n - 1 downto 1 do
+    edges := ((v - 1) / 2, v) :: !edges
+  done;
+  Graph.create ~n !edges
+
+let random_tree rng ~n =
+  if n < 1 then invalid_arg "Generators.random_tree";
+  Graph.create ~n (List.init (n - 1) (fun i ->
+      let v = i + 1 in
+      (Rng.int rng v, v)))
+
+let k_tree rng ~k ~n =
+  if k < 1 || n < k + 1 then invalid_arg "Generators.k_tree";
+  let b = Builder.create ~n in
+  (* Seed clique K_{k+1}. *)
+  for u = 0 to k do
+    for v = u + 1 to k do
+      Builder.add_edge b u v
+    done
+  done;
+  (* Cliques are stored as k-element arrays; attaching v to clique C adds
+     the k new k-cliques (C \ {u}) ∪ {v}. We keep a growable pool and pick
+     uniformly, which matches the usual random k-tree process. *)
+  let cliques = ref [||] in
+  let clique_count = ref 0 in
+  let push c =
+    let cap = Array.length !cliques in
+    if !clique_count = cap then begin
+      let fresh = Array.make (max 16 (2 * cap)) c in
+      Array.blit !cliques 0 fresh 0 !clique_count;
+      cliques := fresh
+    end;
+    !cliques.(!clique_count) <- c;
+    incr clique_count
+  in
+  (* Initial k-cliques: all k-subsets of the seed clique. *)
+  for skip = 0 to k do
+    let c = Array.init k (fun i -> if i < skip then i else i + 1) in
+    push c
+  done;
+  for v = k + 1 to n - 1 do
+    let c = !cliques.(Rng.int rng !clique_count) in
+    Array.iter (fun u -> Builder.add_edge b u v) c;
+    for skip = 0 to k - 1 do
+      let fresh = Array.init k (fun i -> if i = skip then v else c.(i)) in
+      push fresh
+    done
+  done;
+  Builder.graph b
+
+let path_power ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Generators.path_power";
+  let b = Builder.create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to min (n - 1) (i + k) do
+      Builder.add_edge b i j
+    done
+  done;
+  Builder.graph b
+
+let erdos_renyi rng ~n ~p =
+  if n < 1 then invalid_arg "Generators.erdos_renyi";
+  if p < 0. || p > 1. then invalid_arg "Generators.erdos_renyi: p";
+  let b = Builder.create ~n in
+  if p > 0. then begin
+    if p >= 1. then
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          Builder.add_edge b u v
+        done
+      done
+    else begin
+      (* Geometric skipping over the lexicographic pair stream. *)
+      let log1mp = log (1. -. p) in
+      let total = n * (n - 1) / 2 in
+      let pair_of_index idx =
+        (* idx-th pair (u,v), u < v, in lexicographic order. *)
+        let rec find u acc =
+          let row = n - 1 - u in
+          if idx < acc + row then (u, u + 1 + (idx - acc)) else find (u + 1) (acc + row)
+        in
+        find 0 0
+      in
+      let idx = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let skip = int_of_float (Float.floor (log (1. -. Rng.uniform01 rng) /. log1mp)) in
+        idx := !idx + 1 + skip;
+        if !idx >= total then continue := false
+        else begin
+          let u, v = pair_of_index !idx in
+          Builder.add_edge b u v
+        end
+      done
+    end
+  end;
+  Builder.graph b
+
+let erdos_renyi_connected rng ~n ~p =
+  let rec attempt remaining =
+    if remaining = 0 then failwith "Generators.erdos_renyi_connected: gave up";
+    let g = erdos_renyi rng ~n ~p in
+    if Components.is_connected g then g else attempt (remaining - 1)
+  in
+  attempt 1000
+
+let lollipop ~clique ~tail =
+  if clique < 1 || tail < 0 then invalid_arg "Generators.lollipop";
+  let n = clique + tail in
+  let b = Builder.create ~n in
+  for u = 0 to clique - 2 do
+    for v = u + 1 to clique - 1 do
+      Builder.add_edge b u v
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let v = clique + i in
+    Builder.add_edge b (if i = 0 then clique - 1 else v - 1) v
+  done;
+  Builder.graph b
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Generators.caterpillar";
+  let n = spine * (legs + 1) in
+  let b = Builder.create ~n in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then Builder.add_edge b s (s + 1);
+    for l = 0 to legs - 1 do
+      Builder.add_edge b s (spine + (s * legs) + l)
+    done
+  done;
+  Builder.graph b
+
+let clique_of_grids ~blocks ~side =
+  if blocks < 1 || side < 1 || side * side < blocks then
+    invalid_arg "Generators.clique_of_grids";
+  let cell = side * side in
+  let n = blocks * cell in
+  let id block r c = (block * cell) + (r * side) + c in
+  let b = Builder.create ~n in
+  for block = 0 to blocks - 1 do
+    for r = 0 to side - 1 do
+      for c = 0 to side - 1 do
+        if c + 1 < side then Builder.add_edge b (id block r c) (id block r (c + 1));
+        if r + 1 < side then Builder.add_edge b (id block r c) (id block (r + 1) c)
+      done
+    done
+  done;
+  (* Block x attaches to partner y at x's cell number y (row y/side, col
+     y mod side): distinct attachment points per partner, degree stays
+     O(1) + 4. *)
+  for x = 0 to blocks - 2 do
+    for y = x + 1 to blocks - 1 do
+      let ax = id x (y / side) (y mod side) in
+      let ay = id y (x / side) (x mod side) in
+      Builder.add_edge b ax ay
+    done
+  done;
+  Builder.graph b
+
+let block_partition ~blocks ~side host =
+  let cell = side * side in
+  if Graph.n host <> blocks * cell then invalid_arg "Generators.block_partition";
+  Partition.of_assignment host (Array.init (blocks * cell) (fun v -> v / cell))

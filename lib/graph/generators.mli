@@ -1,0 +1,78 @@
+(** Graph family generators.
+
+    Every family the paper's results speak about is represented: planar
+    grids (constant minor density), tori, k-trees (treewidth k, so
+    [δ ≤ k]), wheels (the Section 2 motivation: part diameter [Θ(n)] in a
+    diameter-2 network), blown-up cliques with known dense minors (the
+    [δ = Θ(√genus)] family of Corollary 1.4), and general-graph controls
+    (Erdős–Rényi, random trees, lollipops). The Lemma 3.2 lower-bound
+    topology lives in {!Lower_bound_graph}. *)
+
+val path : int -> Graph.t
+(** [path n]: vertices [0..n-1], edges [i -- i+1]. *)
+
+val cycle : int -> Graph.t
+(** Requires [n >= 3]. *)
+
+val complete : int -> Graph.t
+(** [K_n]; minor density [(n-1)/2]. *)
+
+val star : int -> Graph.t
+(** [star n]: center [0] with [n-1] leaves. *)
+
+val wheel : int -> Graph.t
+(** [wheel n]: an [(n-1)]-cycle [1..n-1] plus center [0] adjacent to all.
+    Diameter 2, while the rim — the natural part — has diameter
+    [Θ(n)]. Requires [n >= 4]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** Planar [rows × cols] grid. Vertex [(r, c)] is [r * cols + c]. Minor
+    density < 3 (planarity). *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Grid plus wrap-around edges; genus 1. Requires [rows, cols >= 3]. *)
+
+val binary_tree : depth:int -> Graph.t
+(** Complete binary tree with [2^(depth+1) - 1] vertices; vertex 0 is the
+    root, children of [v] are [2v+1] and [2v+2]. *)
+
+val random_tree : Lcs_util.Rng.t -> n:int -> Graph.t
+(** Uniform-attachment recursive tree: vertex [v >= 1] attaches to a uniform
+    vertex in [0..v-1]. *)
+
+val k_tree : Lcs_util.Rng.t -> k:int -> n:int -> Graph.t
+(** Random k-tree: start from [K_{k+1}], repeatedly attach a new vertex to
+    all vertices of a uniformly random existing k-clique. Treewidth exactly
+    [k], hence minor density at most [k]. Requires [n >= k+1 >= 2]. *)
+
+val path_power : n:int -> k:int -> Graph.t
+(** The k-th power of a path: [i ~ j] iff [0 < |i-j| <= k]. Treewidth
+    exactly [k] (for [n > k]) {e and} diameter [⌈(n-1)/k⌉] — the
+    treewidth-k family with genuinely large diameter, used by the
+    Corollary 3.4 sweep. Requires [n >= 1, k >= 1]. *)
+
+val erdos_renyi : Lcs_util.Rng.t -> n:int -> p:float -> Graph.t
+(** G(n, p); may be disconnected. Geometric skip sampling, O(n + m). *)
+
+val erdos_renyi_connected : Lcs_util.Rng.t -> n:int -> p:float -> Graph.t
+(** Retries [erdos_renyi] until connected (at most 1000 attempts, then
+    raises [Failure]). *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** [K_clique] with a path of [tail] extra vertices attached: a dense core
+    with a long handle; the classic stress case for BFS-tree baselines. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A spine path of [spine] vertices, each with [legs] pendant leaves. *)
+
+val clique_of_grids : blocks:int -> side:int -> Graph.t
+(** [blocks] copies of a [side × side] grid; for each pair of blocks an
+    inter-block edge joins a designated cell of each. Contracting each
+    block yields [K_blocks], so minor density [δ >= (blocks-1)/2] while the
+    diameter stays [Θ(side)] — the family realizing [δ = Θ(√genus)]
+    (Corollary 1.4) and the [δ]-sweeps of the experiments. Block [b]
+    occupies vertices [b*side*side .. (b+1)*side*side - 1]. Requires
+    [blocks >= 1] and [side*side >= blocks]. *)
+
+val block_partition : blocks:int -> side:int -> Graph.t -> Partition.t
+(** Parts of {!clique_of_grids}: one part per block. *)

@@ -1,0 +1,109 @@
+type t = {
+  n : int;
+  adj : (int * int) array array;  (* (neighbor, edge_id), insertion order *)
+  ends : (int * int) array;       (* edge_id -> (u, v) with u < v *)
+}
+
+let canonical u v = if u < v then (u, v) else (v, u)
+
+let create ~n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  let ends =
+    Array.of_list
+      (List.map
+         (fun (u, v) ->
+           if u < 0 || u >= n || v < 0 || v >= n then
+             invalid_arg "Graph.create: endpoint out of range";
+           if u = v then invalid_arg "Graph.create: self-loop";
+           let key = canonical u v in
+           if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+           Hashtbl.add seen key ();
+           key)
+         edge_list)
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    ends;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let cursor = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      adj.(u).(cursor.(u)) <- (v, e);
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(v).(cursor.(v)) <- (u, e);
+      cursor.(v) <- cursor.(v) + 1)
+    ends;
+  { n; adj; ends }
+
+let n g = g.n
+let m g = Array.length g.ends
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+
+let density g = if g.n = 0 then 0. else float_of_int (m g) /. float_of_int g.n
+
+let iter_adj g v f = Array.iter (fun (w, e) -> f w e) g.adj.(v)
+
+let fold_adj g v f init =
+  Array.fold_left (fun acc (w, e) -> f acc w e) init g.adj.(v)
+
+let adj_list g v = Array.to_list g.adj.(v)
+let edge_endpoints g e = g.ends.(e)
+
+let other_endpoint g ~edge v =
+  let u, w = g.ends.(edge) in
+  if v = u then w
+  else if v = w then u
+  else invalid_arg "Graph.other_endpoint: vertex not on edge"
+
+let find_edge g u v =
+  if u = v || u < 0 || u >= g.n || v < 0 || v >= g.n then None
+  else
+    let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
+    let result = ref None in
+    Array.iter (fun (w, e) -> if w = b && !result = None then result := Some e) g.adj.(a);
+    !result
+
+let mem_edge g u v = find_edge g u v <> None
+
+let iter_edges g f = Array.iteri (fun e (u, v) -> f e u v) g.ends
+let edges g = Array.copy g.ends
+let vertices g = Array.init g.n (fun i -> i)
+
+let subgraph g ~vertex_keep ~edge_keep =
+  let new_of_old = Array.make g.n (-1) in
+  let old_vertices = ref [] in
+  let count = ref 0 in
+  for v = 0 to g.n - 1 do
+    if vertex_keep v then begin
+      new_of_old.(v) <- !count;
+      old_vertices := v :: !old_vertices;
+      incr count
+    end
+  done;
+  let old_of_new_vertex = Array.of_list (List.rev !old_vertices) in
+  let kept_edges = ref [] in
+  Array.iteri
+    (fun e (u, v) ->
+      if edge_keep e && new_of_old.(u) >= 0 && new_of_old.(v) >= 0 then
+        kept_edges := e :: !kept_edges)
+    g.ends;
+  let old_of_new_edge = Array.of_list (List.rev !kept_edges) in
+  let edge_list =
+    Array.to_list
+      (Array.map
+         (fun e ->
+           let u, v = g.ends.(e) in
+           (new_of_old.(u), new_of_old.(v)))
+         old_of_new_edge)
+  in
+  (create ~n:!count edge_list, old_of_new_vertex, old_of_new_edge)
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d, maxdeg=%d)" g.n (m g) (max_degree g)

@@ -1,0 +1,67 @@
+(** Immutable undirected graphs with stable integer edge identifiers.
+
+    Vertices are [0..n-1]. Each undirected edge has an id in [0..m-1] and
+    canonical endpoints [(u, v)] with [u < v]. Edge ids are the currency of
+    the whole repository: shortcut congestion counts how many parts use each
+    edge id, trees store parent-edge ids, and the CONGEST simulator enforces
+    bandwidth per edge id. Self-loops and parallel edges are rejected. *)
+
+type t
+
+val create : n:int -> (int * int) list -> t
+(** [create ~n edges] builds a graph on vertices [0..n-1]. Edge ids are
+    assigned in list order. Raises [Invalid_argument] on out-of-range
+    endpoints, self-loops, or duplicate edges (in either orientation). *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val density : t -> float
+(** [m/n]; a trivial lower bound on the minor density [δ(G)]. *)
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f neighbor edge_id] for every edge incident to
+    [v], in edge-insertion order. *)
+
+val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val adj_list : t -> int -> (int * int) list
+(** [(neighbor, edge_id)] pairs of [v]. Fresh list. *)
+
+val edge_endpoints : t -> int -> int * int
+(** Canonical endpoints [(u, v)], [u < v]. *)
+
+val other_endpoint : t -> edge:int -> int -> int
+(** The endpoint of [edge] that is not the given vertex. Raises
+    [Invalid_argument] if the vertex is not an endpoint. *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id between two vertices, if present. O(min degree). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f edge_id u v] for every edge. *)
+
+val edges : t -> (int * int) array
+(** Array indexed by edge id of canonical endpoints. Fresh array. *)
+
+val vertices : t -> int array
+(** [0..n-1]. Fresh array. *)
+
+val subgraph : t -> vertex_keep:(int -> bool) -> edge_keep:(int -> bool) -> t * int array * int array
+(** [subgraph g ~vertex_keep ~edge_keep] is the graph on the kept vertices
+    containing the kept edges whose endpoints are both kept. Returns
+    [(h, old_of_new_vertex, old_of_new_edge)]: element [i] of the second
+    component is the original vertex id of the new vertex [i], and likewise
+    for edges. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: vertex and edge counts, max degree. *)

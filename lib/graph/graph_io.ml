@@ -1,0 +1,58 @@
+let to_edge_list g =
+  let buf = Buffer.create (16 * Graph.m g) in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun _e u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> invalid_arg "Graph_io.of_edge_list: empty input"
+  | header :: rest ->
+      let parse_pair line =
+        match String.split_on_char ' ' (String.trim line) with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> (a, b)
+            | _ -> invalid_arg "Graph_io.of_edge_list: bad line")
+        | _ -> invalid_arg "Graph_io.of_edge_list: bad line"
+      in
+      let n, m = parse_pair header in
+      let edges = List.map parse_pair rest in
+      if List.length edges <> m then invalid_arg "Graph_io.of_edge_list: edge count";
+      Graph.create ~n edges
+
+let palette =
+  [| "lightblue"; "lightsalmon"; "palegreen"; "plum"; "khaki"; "lightcyan";
+     "mistyrose"; "honeydew" |]
+
+let to_dot_with_edge_style ?partition g ~style_of_edge =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  for v = 0 to Graph.n g - 1 do
+    match partition with
+    | Some p when Partition.part_of p v >= 0 ->
+        let part = Partition.part_of p v in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %d [label=\"%d\\np%d\", style=filled, fillcolor=%s];\n" v v part
+             palette.(part mod Array.length palette))
+    | _ -> Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges g (fun e u v ->
+      match style_of_edge e with
+      | Some style -> Buffer.add_string buf (Printf.sprintf "  %d -- %d [%s];\n" u v style)
+      | None -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_dot ?partition g =
+  to_dot_with_edge_style ?partition g ~style_of_edge:(fun _ -> None)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,22 @@
+(** Serialization of graphs: a plain edge-list format (round-trips) and
+    Graphviz DOT export (for visual inspection of small instances,
+    optionally coloring parts). *)
+
+val to_edge_list : Graph.t -> string
+(** First line ["n m"], then one ["u v"] line per edge in edge-id order. *)
+
+val of_edge_list : string -> Graph.t
+(** Inverse of {!to_edge_list}. Raises [Invalid_argument] on malformed
+    input. *)
+
+val to_dot : ?partition:Partition.t -> Graph.t -> string
+(** Graphviz [graph { ... }]; when [partition] is given, vertices carry a
+    [part=i] label and one of a rotating set of fill colors per part. *)
+
+val to_dot_with_edge_style : ?partition:Partition.t -> Graph.t -> style_of_edge:(int -> string option) -> string
+(** Like {!to_dot}, additionally styling edges: [style_of_edge e] returns a
+    Graphviz attribute string (e.g. ["color=red, penwidth=2"]) or [None]
+    for the default. Used to render shortcut edges [H_i] over the host. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -1,0 +1,103 @@
+type t = {
+  graph : Graph.t;
+  parts : Partition.t;
+  delta' : int;
+  d' : int;
+  delta : int;
+  k : int;
+  d : int;
+  rows : int;
+  row_length : int;
+  top_path : int array;
+  quality_lower_bound : float;
+}
+
+let create ~delta' ~d' =
+  if delta' < 5 then invalid_arg "Lower_bound_graph.create: need delta' >= 5";
+  let delta = delta' - 2 in
+  if d' < (3 * delta) + 2 then
+    invalid_arg "Lower_bound_graph.create: need d' >= 3*(delta'-2)+2";
+  (* The paper takes k = ⌊D'/(2δ)⌋ and asserts diameter <= 1.5D+1; its
+     sketch however omits the return leg of the detour (down a column, over
+     to the part, twice), and the true diameter is bounded by 3D+2. We take
+     k = ⌊(D'-2)/(3δ)⌋ so the promised "diameter at most D'" holds exactly
+     as stated; the quality floor stays Θ(δ'·D'). *)
+  let k = max 1 ((d' - 2) / (3 * delta)) in
+  let d = k * delta in
+  let top_len = ((delta - 1) * k) + 1 in
+  let rows = ((delta - 1) * d) + 1 in
+  let row_length = rows in
+  let n = top_len + (rows * row_length) in
+  let p i = i in
+  (* v_{row,col}, 0-based *)
+  let v row col = top_len + (row * row_length) + col in
+  let b = Builder.create ~n in
+  (* Top path. *)
+  for i = 0 to top_len - 2 do
+    Builder.add_edge b (p i) (p (i + 1))
+  done;
+  (* Rows. *)
+  for r = 0 to rows - 1 do
+    for c = 0 to row_length - 2 do
+      Builder.add_edge b (v r c) (v r (c + 1))
+    done
+  done;
+  (* Every D-th column is a vertical path; on it, every D-th row node joins
+     the corresponding top-path node. Columns are at 0-based positions
+     (j-1)·D for j in [δ]; top attachment for column j is p_{(j-1)k}. *)
+  for j = 0 to delta - 1 do
+    let col = j * d in
+    for r = 0 to rows - 2 do
+      Builder.add_edge b (v r col) (v (r + 1) col)
+    done;
+    for j' = 0 to delta - 1 do
+      Builder.add_edge b (v (j' * d) col) (p (j * k))
+    done
+  done;
+  let graph = Builder.graph b in
+  let part_of = Array.make n (-1) in
+  for r = 0 to rows - 1 do
+    for c = 0 to row_length - 1 do
+      part_of.(v r c) <- r
+    done
+  done;
+  let parts = Partition.of_assignment graph part_of in
+  {
+    graph;
+    parts;
+    delta';
+    d';
+    delta;
+    k;
+    d;
+    rows;
+    row_length;
+    top_path = Array.init top_len p;
+    quality_lower_bound = float_of_int ((delta - 1) * d) /. 2.;
+  }
+
+let row_vertex t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.row_length then
+    invalid_arg "Lower_bound_graph.row_vertex";
+  Array.length t.top_path + (row * t.row_length) + col
+
+let ascii_sketch t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Lower-bound topology (Fig 3.2): delta'=%d D'=%d  =>  delta=%d k=%d D=%d\n"
+       t.delta' t.d' t.delta t.k t.d);
+  Buffer.add_string buf
+    (Printf.sprintf "top path: %d nodes;  %d rows x %d cols;  n=%d m=%d\n"
+       (Array.length t.top_path) t.rows t.row_length (Graph.n t.graph)
+       (Graph.m t.graph));
+  Buffer.add_string buf "p:  *----*----*   (columns hang off every k-th p-node)\n";
+  Buffer.add_string buf "    |    |    |\n";
+  Buffer.add_string buf "r1: o====#====#====o  (rows are the parts; # = column node)\n";
+  Buffer.add_string buf "r2: o====#====#====o\n";
+  Buffer.add_string buf "    ...  |    |      (every D-th column is a vertical path)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "quality lower bound (0.5*(delta-1)*D): %.1f  [(d'-3)d'/6 form: %.1f]\n"
+       t.quality_lower_bound
+       (float_of_int ((t.delta' - 3) * t.d') /. 6.));
+  Buffer.contents buf

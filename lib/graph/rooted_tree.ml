@@ -1,0 +1,134 @@
+type t = {
+  root : int;
+  parent : int array;
+  parent_edge : int array;
+  depth : int array;
+  order : int array;
+  mutable children_cache : int array array option;
+  mutable euler_cache : (int array * int array) option;
+}
+
+let create ~root ~parent ~parent_edge =
+  let n = Array.length parent in
+  if Array.length parent_edge <> n then
+    invalid_arg "Rooted_tree.create: array length mismatch";
+  if root < 0 || root >= n then invalid_arg "Rooted_tree.create: bad root";
+  if parent.(root) <> -1 || parent_edge.(root) <> -1 then
+    invalid_arg "Rooted_tree.create: root must have parent -1";
+  (* Compute depths iteratively, detecting cycles and orphans. *)
+  let depth = Array.make n (-1) in
+  depth.(root) <- 0;
+  for v = 0 to n - 1 do
+    if depth.(v) < 0 then begin
+      (* Walk up collecting the unresolved chain. *)
+      let chain = ref [] in
+      let u = ref v in
+      let steps = ref 0 in
+      while depth.(!u) < 0 do
+        chain := !u :: !chain;
+        let p = parent.(!u) in
+        if p < 0 || p >= n then invalid_arg "Rooted_tree.create: orphan vertex";
+        u := p;
+        incr steps;
+        if !steps > n then invalid_arg "Rooted_tree.create: cycle in parents"
+      done;
+      (* [chain] holds vertices from the closest resolved ancestor downward. *)
+      let d = ref depth.(!u) in
+      List.iter
+        (fun w ->
+          incr d;
+          depth.(w) <- !d)
+        !chain
+    end
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare depth.(a) depth.(b)) order;
+  { root; parent; parent_edge; depth; order; children_cache = None; euler_cache = None }
+
+let root t = t.root
+let parent t v = t.parent.(v)
+let parent_edge t v = t.parent_edge.(v)
+let depth t v = t.depth.(v)
+let size t = Array.length t.parent
+let height t = Array.fold_left max 0 t.depth
+let top_down t = Array.copy t.order
+
+let children t =
+  match t.children_cache with
+  | Some c -> c
+  | None ->
+      let n = size t in
+      let counts = Array.make n 0 in
+      Array.iter (fun p -> if p >= 0 then counts.(p) <- counts.(p) + 1) t.parent;
+      let result = Array.init n (fun v -> Array.make counts.(v) 0) in
+      let cursor = Array.make n 0 in
+      Array.iteri
+        (fun v p ->
+          if p >= 0 then begin
+            result.(p).(cursor.(p)) <- v;
+            cursor.(p) <- cursor.(p) + 1
+          end)
+        t.parent;
+      t.children_cache <- Some result;
+      result
+
+let bottom_up t =
+  let rev = Array.copy t.order in
+  let n = Array.length rev in
+  for i = 0 to (n / 2) - 1 do
+    let tmp = rev.(i) in
+    rev.(i) <- rev.(n - 1 - i);
+    rev.(n - 1 - i) <- tmp
+  done;
+  rev
+
+let tree_edges t =
+  let acc = ref [] in
+  Array.iter (fun e -> if e >= 0 then acc := e :: !acc) t.parent_edge;
+  !acc
+
+let path_to_root t v =
+  let rec walk v acc = if v = -1 then List.rev acc else walk t.parent.(v) (v :: acc) in
+  walk v []
+
+let edge_path_to_root t v =
+  let rec walk v acc =
+    if t.parent.(v) = -1 then List.rev acc
+    else walk t.parent.(v) (t.parent_edge.(v) :: acc)
+  in
+  walk v []
+
+let euler t =
+  match t.euler_cache with
+  | Some e -> e
+  | None ->
+      let n = size t in
+      let tin = Array.make n 0 and tout = Array.make n 0 in
+      let kids = children t in
+      let clock = ref 0 in
+      (* Iterative DFS: stack of (vertex, next-child-index). *)
+      let stack = Stack.create () in
+      Stack.push (t.root, ref 0) stack;
+      tin.(t.root) <- !clock;
+      incr clock;
+      while not (Stack.is_empty stack) do
+        let v, next = Stack.top stack in
+        if !next < Array.length kids.(v) then begin
+          let c = kids.(v).(!next) in
+          incr next;
+          tin.(c) <- !clock;
+          incr clock;
+          Stack.push (c, ref 0) stack
+        end
+        else begin
+          ignore (Stack.pop stack);
+          tout.(v) <- !clock;
+          incr clock
+        end
+      done;
+      t.euler_cache <- Some (tin, tout);
+      (tin, tout)
+
+let is_ancestor t ~ancestor v =
+  let tin, tout = euler t in
+  tin.(ancestor) <= tin.(v) && tout.(v) <= tout.(ancestor)

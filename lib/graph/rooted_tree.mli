@@ -1,0 +1,61 @@
+(** Rooted spanning trees (over all vertices of a host graph).
+
+    A tree is stored by parent pointers into the host graph: [parent t v] and
+    [parent_edge t v] give the tree parent of [v] and the host-graph edge id
+    realizing it. All shortcut machinery is expressed over these trees: the
+    Theorem 3.1 construction walks levels bottom-up, and tree-restricted
+    shortcuts are sets of parent-edge ids. *)
+
+type t
+
+val create : root:int -> parent:int array -> parent_edge:int array -> t
+(** Validates that parent pointers are acyclic and reach [root] from every
+    vertex, and computes depths and a top-down order.
+    [parent.(root)] and [parent_edge.(root)] must be [-1].
+    Raises [Invalid_argument] otherwise. *)
+
+val root : t -> int
+
+val parent : t -> int -> int
+(** Tree parent; [-1] at the root. *)
+
+val parent_edge : t -> int -> int
+(** Host-graph edge id of the edge to the parent; [-1] at the root. In the
+    paper's notation, this is the tree edge [e] with lower endpoint
+    [v_e = v]. *)
+
+val depth : t -> int -> int
+(** Root has depth 0. *)
+
+val size : t -> int
+(** Number of vertices (equals the host graph's vertex count). *)
+
+val height : t -> int
+(** Maximum depth of any vertex; this is the [D] of tree-restricted
+    shortcuts. *)
+
+val children : t -> int array array
+(** [(children t).(v)] lists v's tree children. Computed once and cached;
+    callers must not mutate. *)
+
+val top_down : t -> int array
+(** Vertices ordered by increasing depth. Fresh array. *)
+
+val bottom_up : t -> int array
+(** Vertices ordered by decreasing depth (children before parents); this is
+    exactly the edge-processing order of the Theorem 3.1 construction
+    ("process tree edges in order of decreasing depths"). Fresh array. *)
+
+val tree_edges : t -> int list
+(** The host-graph edge ids of all tree edges. *)
+
+val path_to_root : t -> int -> int list
+(** Vertices from [v] (inclusive) to the root (inclusive). Length =
+    [depth v + 1]. *)
+
+val edge_path_to_root : t -> int -> int list
+(** Host edge ids from [v] up to the root, deepest first. *)
+
+val is_ancestor : t -> ancestor:int -> int -> bool
+(** Euler-tour test, O(1) after cached O(n) preprocessing. A vertex is an
+    ancestor of itself. *)

@@ -1,0 +1,40 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create";
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    count = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let a, b = if t.rank.(rx) >= t.rank.(ry) then (rx, ry) else (ry, rx) in
+    t.parent.(b) <- a;
+    t.sizes.(a) <- t.sizes.(a) + t.sizes.(b);
+    if t.rank.(a) = t.rank.(b) then t.rank.(a) <- t.rank.(a) + 1;
+    t.count <- t.count - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+let count t = t.count
+let size t x = t.sizes.(find t x)

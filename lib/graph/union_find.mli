@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n]: the n singleton sets [{0} .. {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; [true] iff they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Current number of disjoint sets. *)
+
+val size : t -> int -> int
+(** Size of the set containing the given element. *)

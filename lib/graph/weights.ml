@@ -1,0 +1,24 @@
+type t = { host : Graph.t; values : int array }
+
+let create host f =
+  let values =
+    Array.init (Graph.m host) (fun e ->
+        let w = f e in
+        if w <= 0 then invalid_arg "Weights.create: weights must be positive";
+        w)
+  in
+  { host; values }
+
+let uniform host w = create host (fun _ -> w)
+
+let random rng host ~max_weight =
+  if max_weight < 1 then invalid_arg "Weights.random";
+  create host (fun _ -> 1 + Lcs_util.Rng.int rng max_weight)
+
+let random_distinct rng host =
+  let perm = Lcs_util.Rng.permutation rng (Graph.m host) in
+  create host (fun e -> perm.(e) + 1)
+
+let get t e = t.values.(e)
+let total t edges = List.fold_left (fun acc e -> acc + t.values.(e)) 0 edges
+let graph t = t.host

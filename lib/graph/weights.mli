@@ -1,0 +1,24 @@
+(** Integer edge weights, keyed by edge id. *)
+
+type t
+
+val create : Graph.t -> (int -> int) -> t
+(** [create g f] assigns weight [f e] to edge [e]. Weights must be
+    positive. *)
+
+val uniform : Graph.t -> int -> t
+(** All edges get the given weight. *)
+
+val random : Lcs_util.Rng.t -> Graph.t -> max_weight:int -> t
+(** Independent uniform weights in [1..max_weight]. *)
+
+val random_distinct : Lcs_util.Rng.t -> Graph.t -> t
+(** A random permutation of [1..m]: all weights distinct, so the minimum
+    spanning tree is unique — convenient for exact MST comparisons. *)
+
+val get : t -> int -> int
+
+val total : t -> int list -> int
+(** Sum of weights over a list of edge ids. *)
+
+val graph : t -> Graph.t

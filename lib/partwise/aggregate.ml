@@ -1,0 +1,59 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Shortcut = Lcs_shortcut.Shortcut
+
+type outcome = {
+  minima : int array;
+  rounds : int;
+  messages : int;
+  per_part_completion : int array;
+}
+
+let minimum ?bandwidth rng shortcut ~values =
+  let r = Packet_router.route ?bandwidth rng shortcut ~values in
+  {
+    minima = r.Packet_router.per_part_minimum;
+    rounds = r.Packet_router.rounds;
+    messages = r.Packet_router.messages;
+    per_part_completion = r.Packet_router.per_part_completion;
+  }
+
+let broadcast ?bandwidth rng shortcut ~leaders =
+  let partition = Shortcut.partition shortcut in
+  let n = Graph.n (Shortcut.graph shortcut) in
+  if Array.length leaders <> Shortcut.k shortcut then
+    invalid_arg "Aggregate.broadcast: leaders arity";
+  Array.iteri
+    (fun i l ->
+      if l < 0 || l >= n || Partition.part_of partition l <> i then
+        invalid_arg "Aggregate.broadcast: leader not in its part")
+    leaders;
+  (* The leader's token is its vertex id; every other node holds the
+     max-sentinel so the part minimum is exactly the leader's token. *)
+  let values = Array.make n (max_int - 1) in
+  Array.iter (fun l -> values.(l) <- l) leaders;
+  minimum ?bandwidth rng shortcut ~values
+
+let sum ?bandwidth rng shortcut ~values =
+  let r = Tree_router.sum ?bandwidth rng shortcut ~values in
+  {
+    minima = r.Tree_router.per_part_total;
+    rounds = r.Tree_router.rounds;
+    messages = r.Tree_router.messages;
+    per_part_completion = r.Tree_router.per_part_completion;
+  }
+
+let reference_sums shortcut ~values =
+  Tree_router.reference shortcut ~values ~combine:( + ) ~identity:0
+
+let reference_minima shortcut ~values =
+  let partition = Shortcut.partition shortcut in
+  Array.init (Shortcut.k shortcut) (fun i ->
+      Array.fold_left
+        (fun acc v -> min acc values.(v))
+        max_int
+        (Partition.members partition i))
+
+let bound ~congestion ~dilation ~n =
+  let log2n = int_of_float (Float.ceil (log (float_of_int (max 2 n)) /. log 2.)) in
+  congestion + (dilation * log2n)

@@ -1,0 +1,58 @@
+(** The part-wise aggregation problem (Definition 2.1), solved through a
+    shortcut.
+
+    Given values [x_v], every node of part [P_i] must learn an aggregate of
+    its part's values — here the minimum (maximum reduces to it by
+    negation; leader-message delivery by flooding the leader's token, which
+    is {!broadcast}). The solution floods each part's aggregate through its
+    shortcut subgraph under the random-delays schedule of
+    {!Packet_router}; with a (c,d)-shortcut it completes in
+    [O(c + d·log n)] rounds, which {!bound} makes available for the
+    measured-vs-bound tables. *)
+
+type outcome = {
+  minima : int array;  (** per part *)
+  rounds : int;
+  messages : int;
+  per_part_completion : int array;
+}
+
+val minimum :
+  ?bandwidth:int ->
+  Lcs_util.Rng.t ->
+  Lcs_shortcut.Shortcut.t ->
+  values:int array ->
+  outcome
+(** Every node of each part learns the part minimum; measured rounds. *)
+
+val broadcast :
+  ?bandwidth:int ->
+  Lcs_util.Rng.t ->
+  Lcs_shortcut.Shortcut.t ->
+  leaders:int array ->
+  outcome
+(** Definition 2.1's second form: [leaders.(i)] is a vertex of part [i]
+    whose token must reach the whole part. Implemented as a minimum over
+    values that single out the leader. [minima] then encodes the leaders'
+    tokens. *)
+
+val sum :
+  ?bandwidth:int ->
+  Lcs_util.Rng.t ->
+  Lcs_shortcut.Shortcut.t ->
+  values:int array ->
+  outcome
+(** Non-idempotent aggregation: every node of each part learns the sum of
+    its part's values, via {!Tree_router} (per-part tree convergecast +
+    broadcast under the shared-capacity schedule). [minima] then holds the
+    sums. *)
+
+val reference_minima : Lcs_shortcut.Shortcut.t -> values:int array -> int array
+(** Ground truth, computed centrally; the tests compare {!minimum} against
+    this. *)
+
+val reference_sums : Lcs_shortcut.Shortcut.t -> values:int array -> int array
+
+val bound : congestion:int -> dilation:int -> n:int -> int
+(** The scheduling bound [c + d·⌈log₂ n⌉] the measurements are compared
+    to. *)

@@ -1,0 +1,128 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Shortcut = Lcs_shortcut.Shortcut
+module Quality = Lcs_shortcut.Quality
+module Rng = Lcs_util.Rng
+module Pqueue = Lcs_util.Pqueue
+
+type result = {
+  rounds : int;
+  per_part_completion : int array;
+  per_part_minimum : int array;
+  messages : int;
+  max_queue : int;
+}
+
+let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
+    ?(policy = Schedule.Random_delay) rng shortcut ~values =
+  if bandwidth < 1 then invalid_arg "Packet_router.route: bandwidth";
+  let host = Shortcut.graph shortcut in
+  let partition = Shortcut.partition shortcut in
+  let k = Shortcut.k shortcut in
+  if Array.length values <> Graph.n host then invalid_arg "Packet_router.route: values";
+  let subgraphs = Subgraphs.of_shortcut shortcut in
+  let adjacency = Array.init k (Subgraphs.adjacency subgraphs) in
+  let max_delay =
+    match max_delay with
+    | Some d -> max 1 d
+    | None -> max 1 (Quality.congestion shortcut)
+  in
+  let delay = Schedule.delays policy rng ~parts:k ~max_delay in
+  (* Ground truth and completion bookkeeping. *)
+  let target = Array.make k max_int in
+  let remaining = Array.make k 0 in
+  for i = 0 to k - 1 do
+    Array.iter
+      (fun v -> if values.(v) < target.(i) then target.(i) <- values.(v))
+      (Partition.members partition i);
+    remaining.(i) <- Partition.size partition i
+  done;
+  let per_part_completion = Array.make k (-1) in
+  let incomplete = ref k in
+  (* best.(i) : node -> current best value for part i at that node. *)
+  let best = Array.init k (fun _ -> Hashtbl.create 64) in
+  (* Edge-direction queues. Key: edge*2 + dir, dir 0 = towards the higher
+     endpoint. *)
+  let queues : (int, (int * int) Pqueue.t) Hashtbl.t = Hashtbl.create 256 in
+  let nonempty : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let messages = ref 0 in
+  let max_queue = ref 0 in
+  let queue_for key =
+    match Hashtbl.find_opt queues key with
+    | Some q -> q
+    | None ->
+        let q = Pqueue.create () in
+        Hashtbl.add queues key q;
+        q
+  in
+  let push_edge part value e ~from =
+    let u, _v = Graph.edge_endpoints host e in
+    let dir = if from = u then 0 else 1 in
+    let key = (e * 2) + dir in
+    let q = queue_for key in
+    Pqueue.push q ~priority:delay.(part) (part, value);
+    if Pqueue.length q > !max_queue then max_queue := Pqueue.length q;
+    Hashtbl.replace nonempty key ()
+  in
+  let round = ref 0 in
+  (* Improvement at [node] for [part]: update best, track completion,
+     forward on all other S_i edges. *)
+  let absorb part value node ~via =
+    let tbl = best.(part) in
+    let current = Hashtbl.find_opt tbl node in
+    let improves = match current with None -> true | Some b -> value < b in
+    if improves then begin
+      Hashtbl.replace tbl node value;
+      if Partition.part_of partition node = part && value = target.(part) then begin
+        remaining.(part) <- remaining.(part) - 1;
+        if remaining.(part) = 0 then begin
+          per_part_completion.(part) <- !round;
+          decr incomplete
+        end
+      end;
+      match Hashtbl.find_opt adjacency.(part) node with
+      | None -> ()
+      | Some nbrs ->
+          List.iter
+            (fun (e, _nbr) -> if e <> via then push_edge part value e ~from:node)
+            nbrs
+    end
+  in
+  (* Round 0: every assigned vertex injects its own value. *)
+  for v = 0 to Graph.n host - 1 do
+    let part = Partition.part_of partition v in
+    if part >= 0 then absorb part values.(v) v ~via:(-1)
+  done;
+  while !incomplete > 0 do
+    if !round >= max_rounds then
+      failwith "Packet_router.route: round limit (disconnected shortcut subgraph?)";
+    incr round;
+    (* Serve every backlogged edge-direction: up to [bandwidth] messages. *)
+    let keys = Hashtbl.fold (fun key () acc -> key :: acc) nonempty [] in
+    let arrivals = ref [] in
+    List.iter
+      (fun key ->
+        let q = queue_for key in
+        let served = ref 0 in
+        while !served < bandwidth && not (Pqueue.is_empty q) do
+          (match Pqueue.pop_min q with
+          | Some (_prio, (part, value)) ->
+              incr messages;
+              let e = key / 2 and dir = key mod 2 in
+              let u, v = Graph.edge_endpoints host e in
+              let dest = if dir = 0 then v else u in
+              arrivals := (part, value, dest, e) :: !arrivals
+          | None -> ());
+          incr served
+        done;
+        if Pqueue.is_empty q then Hashtbl.remove nonempty key)
+      keys;
+    List.iter (fun (part, value, dest, e) -> absorb part value dest ~via:e) !arrivals
+  done;
+  {
+    rounds = !round;
+    per_part_completion;
+    per_part_minimum = target;
+    messages = !messages;
+    max_queue = !max_queue;
+  }

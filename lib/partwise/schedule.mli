@@ -1,0 +1,19 @@
+(** Scheduling policies for the shared-edge packet queues — the ablation
+    axis for the random-delays technique [LMR94, Gha15, HHW19].
+
+    The routers serve each edge-direction queue by ascending priority
+    (FIFO among equals). The policy decides the priority a part's packets
+    carry:
+
+    - [Random_delay]: a uniform delay in [0, max_delay) per part — the
+      technique the paper's O(c + d log n) aggregation bound rests on;
+    - [Fifo]: no priorities, pure arrival order — the natural baseline;
+    - [Static_order]: parts served in index order — an adversarial
+      stand-in where one part can starve behind all lower-indexed ones. *)
+
+type policy = Random_delay | Fifo | Static_order
+
+val delays : policy -> Lcs_util.Rng.t -> parts:int -> max_delay:int -> int array
+(** Per-part priorities realizing the policy. *)
+
+val to_string : policy -> string

@@ -1,0 +1,153 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Shortcut = Lcs_shortcut.Shortcut
+module Quality = Lcs_shortcut.Quality
+module Simulator = Lcs_congest.Simulator
+module Rng = Lcs_util.Rng
+module Pqueue = Lcs_util.Pqueue
+
+type result = {
+  minima : int array;
+  rounds : int;
+  completion_round : int;
+  messages : int;
+  stats : Simulator.stats;
+}
+
+type node_state = {
+  clock : int;
+  best : (int, int) Hashtbl.t;  (* part -> best value seen *)
+  queues : (int * int) Pqueue.t array;  (* per port: (part, value) by delay *)
+  last_improved : int;  (* as a part member *)
+}
+
+let minimum ?budget rng shortcut ~values =
+  let host = Shortcut.graph shortcut in
+  let partition = Shortcut.partition shortcut in
+  let k = Shortcut.k shortcut in
+  let n = Graph.n host in
+  if Array.length values <> n then invalid_arg "Sim_aggregate.minimum: values";
+  let r = Quality.measure shortcut in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        let bound =
+          Aggregate.bound ~congestion:r.Quality.congestion
+            ~dilation:(max 1 r.Quality.dilation) ~n
+        in
+        (4 * bound) + 32
+  in
+  let subgraphs = Subgraphs.of_shortcut shortcut in
+  let delay = Array.init k (fun _ -> Rng.int rng (max 1 r.Quality.congestion)) in
+  (* For each vertex: the ports its parts use, per part. Port = index into
+     the vertex's host adjacency, as the simulator addresses links. *)
+  let port_of_edge =
+    Array.init n (fun v ->
+        let tbl = Hashtbl.create 8 in
+        List.iteri (fun port (_w, e) -> Hashtbl.replace tbl e port) (Graph.adj_list host v);
+        tbl)
+  in
+  let part_ports : (int, int list) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 4)
+  in
+  for i = 0 to k - 1 do
+    let adj = Subgraphs.adjacency subgraphs i in
+    Hashtbl.iter
+      (fun v nbrs ->
+        let ports =
+          List.map (fun (e, _w) -> Hashtbl.find port_of_edge.(v) e) nbrs
+        in
+        Hashtbl.replace part_ports.(v) i ports)
+      adj
+  done;
+  let enqueue st v part value ~skip_port =
+    match Hashtbl.find_opt part_ports.(v) part with
+    | None -> ()
+    | Some ports ->
+        List.iter
+          (fun port ->
+            if port <> skip_port then
+              Pqueue.push st.queues.(port) ~priority:delay.(part) (part, value))
+          ports
+  in
+  let program =
+    {
+      Simulator.init =
+        (fun ctx ->
+          let v = ctx.Simulator.node in
+          let st =
+            {
+              clock = 0;
+              best = Hashtbl.create 4;
+              queues =
+                Array.init (Array.length ctx.Simulator.neighbors) (fun _ ->
+                    Pqueue.create ());
+              last_improved = 0;
+            }
+          in
+          let part = Partition.part_of partition v in
+          if part >= 0 then begin
+            Hashtbl.replace st.best part values.(v);
+            enqueue st v part values.(v) ~skip_port:(-1)
+          end;
+          st);
+      on_round =
+        (fun ctx st ~inbox ->
+          let v = ctx.Simulator.node in
+          let st = { st with clock = st.clock + 1 } in
+          let st =
+            List.fold_left
+              (fun st (port, (part, value)) ->
+                let improves =
+                  match Hashtbl.find_opt st.best part with
+                  | None -> true
+                  | Some b -> value < b
+                in
+                if improves then begin
+                  Hashtbl.replace st.best part value;
+                  enqueue st v part value ~skip_port:port;
+                  if Partition.part_of partition v = part then
+                    { st with last_improved = st.clock }
+                  else st
+                end
+                else st)
+              st inbox
+          in
+          if st.clock > budget then (st, [])
+          else begin
+            let out = ref [] in
+            Array.iteri
+              (fun port q ->
+                match Pqueue.pop_min q with
+                | Some (_prio, msg) -> out := (port, msg) :: !out
+                | None -> ())
+              st.queues;
+            (st, !out)
+          end)
+      ;
+      is_halted = (fun st -> st.clock > budget);
+      (* (part, value): two O(log n)-bit fields = one CONGEST word. *)
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let states, stats = Simulator.run ~max_rounds:(budget + 8) host program in
+  let reference = Aggregate.reference_minima shortcut ~values in
+  Array.iteri
+    (fun v st ->
+      let part = Partition.part_of partition v in
+      if part >= 0 then
+        match Hashtbl.find_opt st.best part with
+        | Some b when b = reference.(part) -> ()
+        | _ -> failwith "Sim_aggregate: part did not converge within budget")
+    states;
+  let completion_round =
+    Array.fold_left (fun acc st -> max acc st.last_improved) 0 states
+  in
+  {
+    minima = reference;
+    rounds = stats.Simulator.rounds;
+    completion_round;
+    messages = stats.Simulator.messages;
+    stats;
+  }

@@ -1,0 +1,38 @@
+(** Part-wise aggregation as a genuine {!Lcs_congest.Simulator} program.
+
+    The dedicated {!Packet_router} simulates the flooding at the packet
+    level for speed; this module runs the {e same} protocol as a CONGEST
+    node program under the simulator's enforced 1-word bandwidth — every
+    node multiplexes the parts it serves over its links, choosing each
+    round's message per port by the random-delay priority. It exists to
+    validate the router (the tests compare both engines' answers and check
+    the round counts agree within a small factor) and to demonstrate the
+    full pipeline — BFS, detection waves, aggregation — living inside one
+    enforced model.
+
+    A message carries (part, value): two machine integers, each O(log n)
+    bits, i.e. one CONGEST word. Termination: nodes run for a caller-given
+    round budget (local knowledge cannot detect global quiescence without
+    extra machinery); the measured {e completion round} — when every part
+    member last improved — is returned alongside. *)
+
+type result = {
+  minima : int array;  (** per part *)
+  rounds : int;  (** simulator rounds executed (= budget + O(1)) *)
+  completion_round : int;  (** last improvement at any part member *)
+  messages : int;
+  stats : Lcs_congest.Simulator.stats;
+}
+
+val minimum :
+  ?budget:int ->
+  Lcs_util.Rng.t ->
+  Lcs_shortcut.Shortcut.t ->
+  values:int array ->
+  result
+(** [minimum rng shortcut ~values]: every part's minimum, computed by
+    flooding inside each part's shortcut subgraph under the simulator.
+    [budget] defaults to [4·(c + d·log n) + 32] with (c,d) measured from
+    the shortcut — generous enough for the schedule bound, and the
+    returned [completion_round] shows the real finish time. Raises
+    [Failure] if some part had not converged within the budget. *)

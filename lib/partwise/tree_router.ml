@@ -1,0 +1,174 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Shortcut = Lcs_shortcut.Shortcut
+module Quality = Lcs_shortcut.Quality
+module Rng = Lcs_util.Rng
+module Pqueue = Lcs_util.Pqueue
+
+type result = {
+  rounds : int;
+  per_part_total : int array;
+  per_part_completion : int array;
+  messages : int;
+}
+
+type kind = Up | Down
+
+(* Per-(part, vertex) aggregation state along the part's tree. *)
+type cell = {
+  parent : int;  (* parent vertex; -1 at the part root *)
+  parent_edge : int;  (* -1 at the root *)
+  mutable waiting : int;  (* children yet to report *)
+  mutable acc : int;
+  mutable children : (int * int) list;  (* (edge, child vertex) *)
+}
+
+let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) rng shortcut
+    ~values ~combine ~identity =
+  if bandwidth < 1 then invalid_arg "Tree_router.aggregate: bandwidth";
+  let host = Shortcut.graph shortcut in
+  let partition = Shortcut.partition shortcut in
+  let k = Shortcut.k shortcut in
+  if Array.length values <> Graph.n host then invalid_arg "Tree_router.aggregate: values";
+  let subgraphs = Subgraphs.of_shortcut shortcut in
+  let max_delay =
+    match max_delay with
+    | Some d -> max 1 d
+    | None -> max 1 (Quality.congestion shortcut)
+  in
+  let delay = Array.init k (fun _ -> Rng.int rng max_delay) in
+  (* Build each part's tree and cells. *)
+  let roots = Array.make k (-1) in
+  let cells : (int, cell) Hashtbl.t array = Array.init k (fun _ -> Hashtbl.create 32) in
+  for i = 0 to k - 1 do
+    let members = Partition.members partition i in
+    let root = members.(0) in
+    roots.(i) <- root;
+    let parents = Subgraphs.spanning_tree subgraphs i ~root in
+    let vertices = Subgraphs.vertices subgraphs i in
+    (* Any S_i vertex unreachable from the root means a corrupted
+       shortcut; members must always be reachable. *)
+    List.iter
+      (fun v ->
+        if v <> root && not (Hashtbl.mem parents v) then
+          if Partition.part_of partition v = i then
+            failwith "Tree_router: part subgraph is disconnected")
+      vertices;
+    let cell_of v =
+      match Hashtbl.find_opt parents v with
+      | Some (p, e) -> { parent = p; parent_edge = e; waiting = 0; acc = identity; children = [] }
+      | None -> { parent = -1; parent_edge = -1; waiting = 0; acc = identity; children = [] }
+    in
+    List.iter
+      (fun v ->
+        if v = root || Hashtbl.mem parents v then
+          Hashtbl.replace cells.(i) v (cell_of v))
+      vertices;
+    (* Children lists and member contributions. *)
+    Hashtbl.iter
+      (fun v cell ->
+        if cell.parent >= 0 then begin
+          let pcell = Hashtbl.find cells.(i) cell.parent in
+          pcell.children <- (cell.parent_edge, v) :: pcell.children;
+          pcell.waiting <- pcell.waiting + 1
+        end;
+        if Partition.part_of partition v = i then cell.acc <- combine cell.acc values.(v))
+      cells.(i)
+  done;
+  (* Shared edge-direction queues, keyed by edge*2 + dir. *)
+  let queues : (int, (int * kind * int * int) Pqueue.t) Hashtbl.t = Hashtbl.create 256 in
+  let nonempty : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let messages = ref 0 in
+  let queue_for key =
+    match Hashtbl.find_opt queues key with
+    | Some q -> q
+    | None ->
+        let q = Pqueue.create () in
+        Hashtbl.add queues key q;
+        q
+  in
+  let send part kind value e ~from ~dest =
+    let u, _ = Graph.edge_endpoints host e in
+    let dir = if from = u then 0 else 1 in
+    let key = (e * 2) + dir in
+    let q = queue_for key in
+    Pqueue.push q ~priority:delay.(part) (part, kind, value, dest);
+    Hashtbl.replace nonempty key ()
+  in
+  (* Completion bookkeeping: members that received the Down total. *)
+  let per_part_total = Array.make k identity in
+  let remaining = Array.make k 0 in
+  let per_part_completion = Array.make k (-1) in
+  let incomplete = ref k in
+  for i = 0 to k - 1 do
+    remaining.(i) <- Partition.size partition i
+  done;
+  let round = ref 0 in
+  let deliver_down part value node =
+    if Partition.part_of partition node = part then begin
+      remaining.(part) <- remaining.(part) - 1;
+      if remaining.(part) = 0 then begin
+        per_part_completion.(part) <- !round;
+        decr incomplete
+      end
+    end;
+    let cell = Hashtbl.find cells.(part) node in
+    List.iter (fun (e, c) -> send part Down value e ~from:node ~dest:c) cell.children
+  in
+  let rec try_send_up part node =
+    let cell = Hashtbl.find cells.(part) node in
+    if cell.waiting = 0 then
+      if cell.parent < 0 then begin
+        (* Root: total known; start the downward broadcast. *)
+        per_part_total.(part) <- cell.acc;
+        deliver_down part cell.acc node
+      end
+      else send part Up cell.acc cell.parent_edge ~from:node ~dest:cell.parent
+  and absorb_up part value node =
+    let cell = Hashtbl.find cells.(part) node in
+    cell.acc <- combine cell.acc value;
+    cell.waiting <- cell.waiting - 1;
+    if cell.waiting = 0 then try_send_up part node
+  in
+  (* Round 0: leaves fire (a childless root completes immediately). *)
+  for i = 0 to k - 1 do
+    Hashtbl.iter (fun v cell -> if cell.waiting = 0 then try_send_up i v) cells.(i)
+  done;
+  while !incomplete > 0 do
+    if !round >= max_rounds then failwith "Tree_router: round limit";
+    incr round;
+    let keys = Hashtbl.fold (fun key () acc -> key :: acc) nonempty [] in
+    let arrivals = ref [] in
+    List.iter
+      (fun key ->
+        let q = queue_for key in
+        let served = ref 0 in
+        while !served < bandwidth && not (Pqueue.is_empty q) do
+          (match Pqueue.pop_min q with
+          | Some (_prio, msg) ->
+              incr messages;
+              arrivals := msg :: !arrivals
+          | None -> ());
+          incr served
+        done;
+        if Pqueue.is_empty q then Hashtbl.remove nonempty key)
+      keys;
+    List.iter
+      (fun (part, kind, value, dest) ->
+        match kind with
+        | Up -> absorb_up part value dest
+        | Down -> deliver_down part value dest)
+      !arrivals
+  done;
+  { rounds = !round; per_part_total; per_part_completion; messages = !messages }
+
+let sum ?bandwidth rng shortcut ~values =
+  aggregate ?bandwidth rng shortcut ~values ~combine:( + ) ~identity:0
+
+let reference shortcut ~values ~combine ~identity =
+  let partition = Shortcut.partition shortcut in
+  Array.init (Shortcut.k shortcut) (fun i ->
+      Array.fold_left
+        (fun acc v -> combine acc values.(v))
+        identity
+        (Partition.members partition i))

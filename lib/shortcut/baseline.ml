@@ -1,0 +1,28 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Rooted_tree = Lcs_graph.Rooted_tree
+
+type result = {
+  shortcut : Shortcut.t;
+  threshold : int;
+  large_parts : int;
+}
+
+let bfs_tree ?threshold partition ~tree =
+  let host = Partition.graph partition in
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None -> int_of_float (Float.ceil (sqrt (float_of_int (Graph.n host))))
+  in
+  let tree_edges = Rooted_tree.tree_edges tree in
+  let large = ref 0 in
+  let edge_sets =
+    Array.init (Partition.k partition) (fun i ->
+        if Partition.size partition i > threshold then begin
+          incr large;
+          tree_edges
+        end
+        else [])
+  in
+  { shortcut = Shortcut.create partition edge_sets; threshold; large_parts = !large }

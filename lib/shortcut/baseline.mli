@@ -1,0 +1,20 @@
+(** The general-graph [D + √n] shortcut (Section 1.3).
+
+    With [T] a BFS tree: parts larger than [√n] take the whole tree as
+    their shortcut ([H_i = T]), small parts take nothing. At most [√n]
+    parts are large, so congestion is at most [√n]; large parts have
+    dilation at most [2D], small parts at most their own size [√n]. This is
+    the Kutten–Peleg regime every shortcut result is measured against. *)
+
+type result = {
+  shortcut : Shortcut.t;
+  threshold : int;  (** the size cutoff used *)
+  large_parts : int;
+}
+
+val bfs_tree :
+  ?threshold:int ->
+  Lcs_graph.Partition.t ->
+  tree:Lcs_graph.Rooted_tree.t ->
+  result
+(** [threshold] defaults to [⌈√n⌉]. *)

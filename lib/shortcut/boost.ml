@@ -1,0 +1,65 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+
+type result = {
+  shortcut : Shortcut.t;
+  iterations : int;
+  delta_used : int;
+  per_iteration_covered : int list;
+  threshold : int;
+}
+
+(* A sub-partition containing only the listed parts (renumbered); returns
+   the new partition and the original index of each new part. *)
+let restrict partition remaining =
+  let host = Partition.graph partition in
+  let old_of_new = Array.of_list remaining in
+  let new_of_old = Hashtbl.create (2 * Array.length old_of_new) in
+  Array.iteri (fun fresh old -> Hashtbl.add new_of_old old fresh) old_of_new;
+  let part_of =
+    Array.init (Graph.n host) (fun v ->
+        let p = Partition.part_of partition v in
+        if p < 0 then -1
+        else match Hashtbl.find_opt new_of_old p with Some f -> f | None -> -1)
+  in
+  (Partition.of_assignment host part_of, old_of_new)
+
+let full ?(initial_delta = 1) partition ~tree =
+  let k = Partition.k partition in
+  let edge_sets = Array.make k [] in
+  let covered = Array.make k false in
+  let remaining = ref (List.init k (fun i -> i)) in
+  let iterations = ref 0 in
+  let delta = ref initial_delta in
+  let newly = ref [] in
+  let threshold = ref 0 in
+  while !remaining <> [] do
+    incr iterations;
+    let sub, old_of_new = restrict partition !remaining in
+    let result, accepted = Construct.auto ~initial_delta:!delta sub ~tree in
+    delta := max !delta accepted;
+    threshold := max !threshold result.Construct.threshold;
+    let covered_now = ref 0 in
+    let still = ref [] in
+    Array.iteri
+      (fun fresh old ->
+        if result.Construct.selected.(fresh) then begin
+          edge_sets.(old) <- Shortcut.edges result.Construct.shortcut fresh;
+          covered.(old) <- true;
+          incr covered_now
+        end
+        else still := old :: !still)
+      old_of_new;
+    (* Theorem 3.1 guarantees progress; guard against a logic bug anyway. *)
+    if !covered_now = 0 then failwith "Boost.full: iteration covered no part";
+    newly := !covered_now :: !newly;
+    remaining := List.rev !still
+  done;
+  let shortcut = Shortcut.create ~covered partition edge_sets in
+  {
+    shortcut;
+    iterations = !iterations;
+    delta_used = !delta;
+    per_iteration_covered = List.rev !newly;
+    threshold = !threshold;
+  }

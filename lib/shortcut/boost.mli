@@ -1,0 +1,26 @@
+(** Observation 2.7: boosting partial shortcuts to full shortcuts.
+
+    Repeatedly construct a partial shortcut for the still-uncovered parts;
+    each round covers at least half of them (Theorem 3.1), so after at most
+    [⌈log₂ k⌉ + 1] rounds every part is covered. The union multiplies
+    congestion by the number of rounds but leaves every part's block number
+    at its own round's bound — exactly the [c·log₂ n]-congestion,
+    [b]-block statement of the paper. *)
+
+type result = {
+  shortcut : Shortcut.t;  (** full: every part covered *)
+  iterations : int;
+  delta_used : int;  (** largest delta accepted by any iteration *)
+  per_iteration_covered : int list;
+      (** parts newly covered by each iteration, in order *)
+  threshold : int;  (** the per-iteration congestion parameter [8·δ·D] *)
+}
+
+val full :
+  ?initial_delta:int ->
+  Lcs_graph.Partition.t ->
+  tree:Lcs_graph.Rooted_tree.t ->
+  result
+(** Runs {!Construct.auto} on the remaining parts until all are covered.
+    The delta accepted by one iteration seeds the next, so the search cost
+    is paid once. *)

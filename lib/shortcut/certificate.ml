@@ -1,0 +1,174 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Rooted_tree = Lcs_graph.Rooted_tree
+module Minor = Lcs_graph.Minor
+module Union_find = Lcs_graph.Union_find
+module Bitset = Lcs_util.Bitset
+module Rng = Lcs_util.Rng
+
+type t = {
+  model : Minor.model;
+  density : float;
+  edge_nodes : int;
+  part_nodes : int;
+  attempts : int;
+}
+
+(* One sampling attempt. Returns the candidate model and its density. *)
+let attempt rng (result : Construct.result) =
+  let partition = result.Construct.partition in
+  let tree = result.Construct.tree in
+  let host = Partition.graph partition in
+  let n = Graph.n host in
+  let k = Partition.k partition in
+  let d = max 1 (Rooted_tree.height tree) in
+  let p = 1. /. (4. *. float_of_int d) in
+  let sampled = Array.init k (fun _ -> Rng.bernoulli rng p) in
+  let in_sampled v =
+    let part = Partition.part_of partition v in
+    part >= 0 && sampled.(part)
+  in
+  (* Components of (T \ O) \ (sampled-part vertices). *)
+  let uf = Union_find.create n in
+  for v = 0 to n - 1 do
+    let e = Rooted_tree.parent_edge tree v in
+    if e >= 0 && not (Bitset.mem result.Construct.overcongested e) then begin
+      let parent = Rooted_tree.parent tree v in
+      if (not (in_sampled v)) && not (in_sampled parent) then
+        ignore (Union_find.union uf v parent)
+    end
+  done;
+  (* Edge-nodes: blame entries whose v_e avoids sampled parts. Branch set =
+     the component of v_e; distinct entries have distinct components (each
+     v_e roots its own piece). *)
+  let blame = result.Construct.blame in
+  let edge_nodes = List.filter (fun b -> not (in_sampled b.Construct.lower)) blame in
+  let num_edge_nodes = List.length edge_nodes in
+  (* Part-nodes: sampled parts, numbered after the edge-nodes. *)
+  let part_index = Array.make k (-1) in
+  let num_part_nodes = ref 0 in
+  for i = 0 to k - 1 do
+    if sampled.(i) then begin
+      part_index.(i) <- num_edge_nodes + !num_part_nodes;
+      incr num_part_nodes
+    end
+  done;
+  let total_nodes = num_edge_nodes + !num_part_nodes in
+  (* Branch sets. Edge-node i owns the vertices in v_e's component. *)
+  let branch_sets = Array.make total_nodes [] in
+  let root_of_edge_node = Hashtbl.create 64 in
+  List.iteri
+    (fun i b -> Hashtbl.replace root_of_edge_node (Union_find.find uf b.Construct.lower) i)
+    edge_nodes;
+  for v = 0 to n - 1 do
+    if not (in_sampled v) then
+      match Hashtbl.find_opt root_of_edge_node (Union_find.find uf v) with
+      | Some i -> branch_sets.(i) <- v :: branch_sets.(i)
+      | None -> ()
+  done;
+  for i = 0 to k - 1 do
+    if sampled.(i) then
+      branch_sets.(part_index.(i)) <-
+        Array.to_list (Partition.members partition i)
+  done;
+  (* Blame pairs that survive: the tree path from v_e to the representative
+     (inclusive of v_e, exclusive of the representative) avoids every
+     sampled part. *)
+  let minor_edges = ref [] in
+  let num_edges = ref 0 in
+  List.iteri
+    (fun i b ->
+      Array.iter
+        (fun (part, rep) ->
+          if sampled.(part) then begin
+            (* Walk rep -> v_e along parents; check all strictly-above-rep
+               vertices (up to and including v_e). *)
+            let ok = ref true in
+            let v = ref (Rooted_tree.parent tree rep) in
+            let target = b.Construct.lower in
+            let continue = ref (rep <> target) in
+            (* rep = v_e cannot happen: rep is in a part and would make
+               v_e sampled, and [b] only lists reps below v_e anyway. *)
+            while !continue do
+              if !v = -1 then begin
+                (* Malformed walk; treat as failure of this pair. *)
+                ok := false;
+                continue := false
+              end
+              else begin
+                if in_sampled !v then ok := false;
+                if !v = target || not !ok then continue := false
+                else v := Rooted_tree.parent tree !v
+              end
+            done;
+            if !ok && rep <> target then begin
+              minor_edges := (i, part_index.(part)) :: !minor_edges;
+              incr num_edges
+            end
+          end)
+        b.Construct.parts)
+    edge_nodes;
+  let density =
+    if total_nodes = 0 then 0.
+    else float_of_int !num_edges /. float_of_int total_nodes
+  in
+  let model = { Minor.branch_sets; minor_edges = !minor_edges } in
+  (model, density, num_edge_nodes, !num_part_nodes)
+
+let check_blame (result : Construct.result) =
+  if result.Construct.blame = [] && result.Construct.overcongested_count > 0 then
+    invalid_arg "Certificate: construct result lacks blame (use ~record_blame:true)"
+
+let extract ?max_attempts ?target rng result =
+  check_blame result;
+  let d = max 1 (Rooted_tree.height result.Construct.tree) in
+  let max_attempts = match max_attempts with Some a -> a | None -> 256 * d in
+  let target =
+    match target with
+    | Some t -> t
+    | None -> float_of_int result.Construct.block_budget /. 8.
+  in
+  let host = Partition.graph result.Construct.partition in
+  let rec go i =
+    if i > max_attempts then None
+    else
+      let model, density, edge_nodes, part_nodes = attempt rng result in
+      if density > target then begin
+        (match Minor.verify host model with
+        | Ok () -> ()
+        | Error msg -> failwith ("Certificate: invalid minor produced: " ^ msg));
+        Some { model; density; edge_nodes; part_nodes; attempts = i }
+      end
+      else go (i + 1)
+  in
+  go 1
+
+let best_effort ?(max_attempts = 64) rng result =
+  check_blame result;
+  let host = Partition.graph result.Construct.partition in
+  let best = ref None in
+  for i = 1 to max_attempts do
+    let model, density, edge_nodes, part_nodes = attempt rng result in
+    match !best with
+    | Some b when b.density >= density -> ()
+    | _ -> best := Some { model; density; edge_nodes; part_nodes; attempts = i }
+  done;
+  match !best with
+  | None -> invalid_arg "Certificate.best_effort: zero attempts"
+  | Some b ->
+      (match Minor.verify host b.model with
+      | Ok () -> ()
+      | Error msg -> failwith ("Certificate: invalid minor produced: " ^ msg));
+      b
+
+type verdict =
+  | Shortcut of Construct.result
+  | Dense_minor of Construct.result * t
+
+let run_certifying ?max_attempts rng partition ~tree ~delta =
+  let result = Construct.for_delta ~record_blame:true partition ~tree ~delta in
+  if Construct.succeeded result then Shortcut result
+  else
+    match extract ?max_attempts rng result with
+    | Some cert -> Dense_minor (result, cert)
+    | None -> Dense_minor (result, best_effort rng result)

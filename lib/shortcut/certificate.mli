@@ -1,0 +1,66 @@
+(** Dense-minor certificates — case (II) of the Theorem 3.1 proof.
+
+    When a run of {!Construct} for parameter [δ] fails (more than half the
+    parts have blame degree above [8δ]), the graph must contain a minor of
+    density exceeding [δ]. This module carries out the paper's
+    probabilistic construction: sample each part with probability [1/(4D)],
+    take as edge-nodes the overcongested edges whose lower endpoint avoids
+    all sampled parts (branch set: the component of [v_e] in
+    [(T \ O) \ ∪P']), as part-nodes the sampled parts, and keep a blame
+    pair [(e, P_i)] when the tree path from [v_e] to the representative
+    avoids every sampled part. The expected density exceeds [δ], so
+    retrying yields a witness; the returned model is machine-verified to be
+    a genuine minor ({!Lcs_graph.Minor.verify}), making the whole algorithm
+    certifying. *)
+
+type t = {
+  model : Lcs_graph.Minor.model;
+  density : float;  (** [|E'| / |V'|], strictly above the target *)
+  edge_nodes : int;
+  part_nodes : int;
+  attempts : int;  (** sampling attempts used *)
+}
+
+val extract :
+  ?max_attempts:int ->
+  ?target:float ->
+  Lcs_util.Rng.t ->
+  Construct.result ->
+  t option
+(** [extract rng result] retries the sampling until the minor's density
+    exceeds [target] (default: [block_budget / 8], the [δ] the failed run
+    was parameterized with). [max_attempts] defaults to [256 · D]. The
+    construct result must have been produced with [~record_blame:true];
+    raises [Invalid_argument] otherwise. Returns [None] only if every
+    attempt fell short — for genuinely failed runs the success probability
+    per attempt is [Ω(1/D)], so this is vanishingly unlikely at the default
+    budget. The returned model always passes {!Lcs_graph.Minor.verify}. *)
+
+val best_effort :
+  ?max_attempts:int ->
+  Lcs_util.Rng.t ->
+  Construct.result ->
+  t
+(** Like {!extract} with no density bar: returns the densest minor found
+    over the attempt budget. Useful for tracing and for measuring how
+    density concentrates. *)
+
+type verdict =
+  | Shortcut of Construct.result
+      (** the run succeeded: a Theorem 3.1 partial shortcut *)
+  | Dense_minor of Construct.result * t
+      (** the run failed and here is the verified explanation *)
+
+val run_certifying :
+  ?max_attempts:int ->
+  Lcs_util.Rng.t ->
+  Lcs_graph.Partition.t ->
+  tree:Lcs_graph.Rooted_tree.t ->
+  delta:int ->
+  verdict
+(** The paper's closing remark in Section 3.1, as an API: run the
+    construction at parameter [delta]; on success return the partial
+    shortcut, on failure return it together with a dense-minor certificate
+    explaining why no better shortcut exists at this [delta]. If the
+    sampling budget cannot beat density [delta] (possible only with
+    extreme luck), falls back to the densest minor found. *)

@@ -1,0 +1,237 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Rooted_tree = Lcs_graph.Rooted_tree
+module Bitset = Lcs_util.Bitset
+module Simulator = Lcs_congest.Simulator
+module Sync_bfs = Lcs_congest.Sync_bfs
+module Tree_info = Lcs_congest.Tree_info
+
+type variant =
+  | Randomized of { repetitions : int }
+  | Deterministic
+
+type outcome = {
+  tree : Rooted_tree.t;
+  height : int;
+  delta : int;
+  threshold : int;
+  result : Construct.result;
+  bfs_stats : Simulator.stats;
+  wave_rounds : int;
+  wave_messages : int;
+  guesses : int;
+}
+
+let default_repetitions g =
+  let n = max 2 (Graph.n g) in
+  let log2 = int_of_float (Float.ceil (log (float_of_int n) /. log 2.)) in
+  max 8 (4 * log2)
+
+(* --- Hashing ------------------------------------------------------------ *)
+
+(* A part's r-th hash word: a pure function of (seed, part, r) every node
+   can evaluate locally — no communication needed to agree on hashes. The
+   value is uniform in [0, 2^53); HASH_EMPTY = 2^53 encodes "no parts in
+   this subtree" (acting as min-identity u = 1.0). *)
+
+let hash_bits = 53
+let hash_empty = 1 lsl hash_bits
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let part_hash ~seed ~part ~rep =
+  let open Int64 in
+  let z =
+    mix64
+      (add
+         (mul (of_int seed) 0x9E3779B97F4A7C15L)
+         (add (mul (of_int part) 0xD1B54A32D192ED03L) (of_int rep)))
+  in
+  to_int (shift_right_logical z (64 - hash_bits))
+
+(* Harmonic estimator: with u_r = min over s parts of Uniform(0,1), the
+   estimate R / (sum u_r) - 1 concentrates around s. *)
+let estimate_count mins =
+  let sum =
+    Array.fold_left
+      (fun acc w -> acc +. (float_of_int w /. float_of_int hash_empty))
+      0. mins
+  in
+  if sum <= 0. then infinity
+  else (float_of_int (Array.length mins) /. sum) -. 1.
+
+(* --- The detection wave -------------------------------------------------- *)
+
+(* Message words. *)
+let over_flag = min_int
+let end_flag = min_int + 1
+
+type phase = Collecting | Streaming | Done
+
+type wave_state = {
+  phase : phase;
+  pending : int;  (* children that have not finished reporting *)
+  child_count : int array;  (* data words received, per port *)
+  mins : int array;  (* randomized: running minima, length R *)
+  ids : (int, unit) Hashtbl.t;  (* deterministic: distinct part ids *)
+  over_sub : bool;  (* decision for this node's parent edge *)
+  queue : int list;  (* words left to stream upward *)
+}
+
+let detection_wave ?(seed = 1) ?max_rounds ~variant ~threshold partition info =
+  if threshold < 1 then invalid_arg "Distributed.detection_wave: threshold";
+  let host = Partition.graph partition in
+  let repetitions = match variant with Randomized { repetitions } -> repetitions | Deterministic -> 0 in
+  let init ctx =
+    let v = ctx.Simulator.node in
+    let node = info.Tree_info.nodes.(v) in
+    let part = Partition.part_of partition v in
+    let mins =
+      Array.init repetitions (fun r ->
+          if part >= 0 then part_hash ~seed ~part ~rep:r else hash_empty)
+    in
+    let ids = Hashtbl.create 8 in
+    if variant = Deterministic && part >= 0 then Hashtbl.replace ids part ();
+    {
+      phase = Collecting;
+      pending = Array.length node.Tree_info.child_ports;
+      child_count = Array.make (Array.length ctx.Simulator.neighbors) 0;
+      mins;
+      ids;
+      over_sub = false;
+      queue = [];
+    }
+  in
+  let decide st =
+    match variant with
+    | Randomized _ -> estimate_count st.mins >= float_of_int threshold
+    | Deterministic -> Hashtbl.length st.ids >= threshold
+  in
+  let payload st =
+    match variant with
+    | Randomized _ -> Array.to_list st.mins
+    | Deterministic ->
+        let ids = Hashtbl.fold (fun id () acc -> id :: acc) st.ids [] in
+        List.sort compare ids @ [ end_flag ]
+  in
+  let on_round ctx st ~inbox =
+    let v = ctx.Simulator.node in
+    let node = info.Tree_info.nodes.(v) in
+    (* Absorb child reports. *)
+    let st =
+      List.fold_left
+        (fun st (port, word) ->
+          if word = over_flag then { st with pending = st.pending - 1 }
+          else if word = end_flag then { st with pending = st.pending - 1 }
+          else begin
+            match variant with
+            | Randomized { repetitions } ->
+                let r = st.child_count.(port) in
+                st.child_count.(port) <- r + 1;
+                if word < st.mins.(r) then st.mins.(r) <- word;
+                if r + 1 = repetitions then { st with pending = st.pending - 1 }
+                else st
+            | Deterministic ->
+                Hashtbl.replace st.ids word ();
+                st
+          end)
+        st inbox
+    in
+    match st.phase with
+    | Collecting ->
+        if st.pending = 0 then begin
+          let over_sub = node.Tree_info.parent_port >= 0 && decide st in
+          let queue =
+            if node.Tree_info.parent_port < 0 then []
+            else if over_sub then [ over_flag ]
+            else payload st
+          in
+          let st = { st with phase = Streaming; over_sub; queue } in
+          match st.queue with
+          | [] -> ({ st with phase = Done }, [])
+          | w :: rest ->
+              let st = { st with queue = rest } in
+              let st = if rest = [] then { st with phase = Done } else st in
+              (st, [ (node.Tree_info.parent_port, w) ])
+        end
+        else (st, [])
+    | Streaming -> (
+        match st.queue with
+        | [] -> ({ st with phase = Done }, [])
+        | w :: rest ->
+            let st = { st with queue = rest } in
+            let st = if rest = [] then { st with phase = Done } else st in
+            (st, [ (node.Tree_info.parent_port, w) ]))
+    | Done -> (st, [])
+  in
+  let program =
+    {
+      Simulator.init;
+      on_round;
+      is_halted = (fun st -> st.phase = Done);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let states, stats = Simulator.run ?max_rounds host program in
+  let over = Bitset.create (Graph.m host) in
+  Array.iteri
+    (fun v st ->
+      if st.over_sub then begin
+        (* The decision concerns v's parent edge. *)
+        let port = info.Tree_info.nodes.(v).Tree_info.parent_port in
+        if port >= 0 then begin
+          let adj = Array.of_list (Graph.adj_list host v) in
+          Bitset.add over (snd adj.(port))
+        end
+      end)
+    states;
+  (over, stats)
+
+(* --- Full pipeline ------------------------------------------------------- *)
+
+let construct ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
+    partition ~root =
+  let host = Partition.graph partition in
+  let variant =
+    match variant with
+    | Some v -> v
+    | None -> Randomized { repetitions = default_repetitions host }
+  in
+  let tree, height, bfs_stats = Sync_bfs.run ~max_rounds host ~root in
+  let info = Tree_info.of_tree host tree in
+  let d = max 1 height in
+  let wave_rounds = ref 0 in
+  let wave_messages = ref 0 in
+  let guesses = ref 0 in
+  let rec search delta =
+    incr guesses;
+    let threshold = 8 * delta * d in
+    let over, stats =
+      detection_wave ~seed:(seed + !guesses) ~max_rounds ~variant ~threshold partition
+        info
+    in
+    wave_rounds := !wave_rounds + stats.Simulator.rounds;
+    wave_messages := !wave_messages + stats.Simulator.messages;
+    let result =
+      Construct.with_fixed_overcongested partition ~tree ~over ~threshold
+        ~block_budget:(8 * delta)
+    in
+    if Construct.succeeded result then (result, delta, threshold)
+    else search (2 * delta)
+  in
+  let result, delta, threshold = search initial_delta in
+  {
+    tree;
+    height;
+    delta;
+    threshold;
+    result;
+    bfs_stats;
+    wave_rounds = !wave_rounds;
+    wave_messages = !wave_messages;
+    guesses = !guesses;
+  }

@@ -1,0 +1,69 @@
+(** Distributed shortcut construction on the CONGEST simulator
+    (Theorem 1.5, following the [HIZ16a]/[HHW18] recipe).
+
+    The pipeline, every stage executed on {!Lcs_congest.Simulator} with
+    1-word bandwidth and measured rounds/messages:
+
+    + {!Lcs_congest.Sync_bfs} builds the tree [T] ([O(D)] rounds);
+    + a bottom-up {e detection wave} determines the overcongested edge set
+      [O]: every node aggregates, over its surviving subtree, either
+      min-hash sketches of the parts below it (randomized variant —
+      each part's hashes are computed locally from its id, [R = Θ(log n)]
+      repetitions, the harmonic estimator decides [|I_e| >= c]) or the
+      explicit sorted part-id list truncated at the threshold
+      (deterministic variant, exact decisions). A node buffers until all
+      children have reported, decides, and streams its own summary upward —
+      [O(D·R)] rounds randomized, [O(D·c)] deterministic, both measured;
+    + the per-part blame degrees, part selection and [H_i] assignment are
+      replayed via {!Construct.with_fixed_overcongested}. The paper
+      delegates this bookkeeping to the [Õ(Q)]-round machinery of
+      Lemma 2.8 [HHW18], which we treat as a black box; DESIGN.md §3.3
+      records this reproduction boundary.
+
+    The driver doubles [δ] until at least half the parts are selected,
+    exactly like {!Construct.auto}. *)
+
+type variant =
+  | Randomized of { repetitions : int }
+      (** min-hash sketches; [repetitions] is [R]. *)
+  | Deterministic  (** truncated part-id lists; exact [O]. *)
+
+type outcome = {
+  tree : Lcs_graph.Rooted_tree.t;
+  height : int;
+  delta : int;  (** accepted δ *)
+  threshold : int;  (** [8·δ·height] *)
+  result : Construct.result;  (** selection against the distributed [O] *)
+  bfs_stats : Lcs_congest.Simulator.stats;
+  wave_rounds : int;  (** summed over all δ guesses *)
+  wave_messages : int;
+  guesses : int;  (** δ-doubling iterations *)
+}
+
+val default_repetitions : Lcs_graph.Graph.t -> int
+(** [max 8 (4·⌈log₂ n⌉)]. *)
+
+val detection_wave :
+  ?seed:int ->
+  ?max_rounds:int ->
+  variant:variant ->
+  threshold:int ->
+  Lcs_graph.Partition.t ->
+  Lcs_congest.Tree_info.t ->
+  Lcs_util.Bitset.t * Lcs_congest.Simulator.stats
+(** One bottom-up wave at a fixed congestion threshold; returns the
+    overcongested edge set it determined and the measured stats. With
+    [Deterministic] the returned set equals the centralized construction's
+    [O] for the same threshold (a property the test suite checks). *)
+
+val construct :
+  ?seed:int ->
+  ?variant:variant ->
+  ?max_rounds:int ->
+  ?initial_delta:int ->
+  Lcs_graph.Partition.t ->
+  root:int ->
+  outcome
+(** Full pipeline. [variant] defaults to [Randomized] with
+    {!default_repetitions}; [seed] (default 1) drives the hash functions;
+    [max_rounds] bounds each simulator run (default 2_000_000). *)

@@ -1,0 +1,127 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+module Diameter = Lcs_graph.Diameter
+module Union_find = Lcs_graph.Union_find
+
+type report = {
+  congestion : int;
+  dilation : int;
+  quality : int;
+  max_block_number : int;
+  covered : int;
+  per_part_dilation : int array;
+  per_part_blocks : int array;
+  edge_load : int array;
+}
+
+let edge_load sc =
+  let host = Shortcut.graph sc in
+  let load = Array.make (Graph.m host) 0 in
+  for i = 0 to Shortcut.k sc - 1 do
+    List.iter (fun e -> load.(e) <- load.(e) + 1) (Shortcut.edges sc i)
+  done;
+  load
+
+let congestion sc = Array.fold_left max 0 (edge_load sc)
+
+(* The subgraph G[P_i] + H_i as an explicit graph. Vertices: P_i plus every
+   endpoint of an H_i edge; edges: host edges internal to P_i plus H_i. *)
+let part_subgraph sc i =
+  let host = Shortcut.graph sc in
+  let partition = Shortcut.partition sc in
+  let members = Partition.members partition i in
+  let renumber = Hashtbl.create (2 * Array.length members) in
+  let fresh = ref 0 in
+  let intern v =
+    match Hashtbl.find_opt renumber v with
+    | Some id -> id
+    | None ->
+        let id = !fresh in
+        incr fresh;
+        Hashtbl.add renumber v id;
+        id
+  in
+  Array.iter (fun v -> ignore (intern v)) members;
+  let edge_seen = Hashtbl.create 64 in
+  let edge_list = ref [] in
+  let add_edge e u v =
+    if not (Hashtbl.mem edge_seen e) then begin
+      Hashtbl.add edge_seen e ();
+      edge_list := (intern u, intern v) :: !edge_list
+    end
+  in
+  Array.iter
+    (fun v ->
+      Graph.iter_adj host v (fun w e ->
+          if v < w && Partition.part_of partition w = i then add_edge e v w))
+    members;
+  List.iter
+    (fun e ->
+      let u, v = Graph.edge_endpoints host e in
+      add_edge e u v)
+    (Shortcut.edges sc i);
+  Graph.create ~n:!fresh (List.rev !edge_list)
+
+let part_dilation ?(exact_limit = 4096) sc i =
+  let sub = part_subgraph sc i in
+  Diameter.of_graph ~exact_limit sub
+
+let dilation ?exact_limit sc =
+  let best = ref 0 in
+  for i = 0 to Shortcut.k sc - 1 do
+    if Shortcut.is_covered sc i then begin
+      let d = part_dilation ?exact_limit sc i in
+      if d > !best then best := d
+    end
+  done;
+  !best
+
+let part_blocks sc i =
+  let host = Shortcut.graph sc in
+  let partition = Shortcut.partition sc in
+  let members = Partition.members partition i in
+  (* Union-find over the involved vertices, joined by H_i edges only. *)
+  let uf = Union_find.create (Graph.n host) in
+  let involved = Hashtbl.create (2 * Array.length members) in
+  Array.iter (fun v -> Hashtbl.replace involved v ()) members;
+  List.iter
+    (fun e ->
+      let u, v = Graph.edge_endpoints host e in
+      Hashtbl.replace involved u ();
+      Hashtbl.replace involved v ();
+      ignore (Union_find.union uf u v))
+    (Shortcut.edges sc i);
+  let roots = Hashtbl.create 16 in
+  Hashtbl.iter (fun v () -> Hashtbl.replace roots (Union_find.find uf v) ()) involved;
+  Hashtbl.length roots
+
+let measure ?exact_limit sc =
+  let k = Shortcut.k sc in
+  let per_part_dilation = Array.make k (-1) in
+  let per_part_blocks = Array.make k (-1) in
+  let covered = ref 0 in
+  for i = 0 to k - 1 do
+    if Shortcut.is_covered sc i then begin
+      incr covered;
+      per_part_dilation.(i) <- part_dilation ?exact_limit sc i;
+      per_part_blocks.(i) <- part_blocks sc i
+    end
+  done;
+  let load = edge_load sc in
+  let congestion = Array.fold_left max 0 load in
+  let dilation = Array.fold_left max 0 per_part_dilation in
+  {
+    congestion;
+    dilation;
+    quality = congestion + dilation;
+    max_block_number = Array.fold_left max 0 per_part_blocks;
+    covered = !covered;
+    per_part_dilation;
+    per_part_blocks;
+    edge_load = load;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "quality=%d (congestion=%d, dilation=%d), blocks<=%d, covered=%d"
+    r.quality r.congestion r.dilation r.max_block_number r.covered

@@ -1,0 +1,42 @@
+(** Measuring shortcut quality: congestion, dilation, block number.
+
+    Congestion (Def 2.2 II): the maximum, over host edges, of the number of
+    parts whose [H_i] contains the edge. Dilation (Def 2.2 I): the maximum,
+    over covered parts, of the diameter of [G[P_i] + H_i]. Quality = their
+    sum. For tree-restricted shortcuts the block number (Def 2.3) of part
+    [P_i] is the number of connected components of [(P_i ∪ V(H_i), H_i)];
+    Observation 2.6 bounds dilation by [b(2D+1)], which the tests verify
+    against these measurements. *)
+
+type report = {
+  congestion : int;
+  dilation : int;
+  quality : int;  (** congestion + dilation *)
+  max_block_number : int;
+  covered : int;  (** number of covered parts (measured parts) *)
+  per_part_dilation : int array;  (** -1 for uncovered parts *)
+  per_part_blocks : int array;  (** -1 for uncovered parts *)
+  edge_load : int array;  (** per host edge: number of parts using it *)
+}
+
+val congestion : Shortcut.t -> int
+
+val edge_load : Shortcut.t -> int array
+
+val part_dilation : ?exact_limit:int -> Shortcut.t -> int -> int
+(** Diameter of [G[P_i] + H_i]. Exact when that subgraph has at most
+    [exact_limit] (default 4096) vertices, otherwise a double-sweep lower
+    bound. Raises [Invalid_argument] if the subgraph is disconnected —
+    which cannot happen for shortcuts produced by {!Construct}. *)
+
+val dilation : ?exact_limit:int -> Shortcut.t -> int
+(** Max over covered parts. Uncovered parts are skipped: a partial
+    shortcut's dilation speaks only for the parts it serves. *)
+
+val part_blocks : Shortcut.t -> int -> int
+(** Block number of one part: connected components of
+    [(P_i ∪ V(H_i), H_i)]. Meaningful for tree-restricted shortcuts. *)
+
+val measure : ?exact_limit:int -> Shortcut.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,69 @@
+module Graph = Lcs_graph.Graph
+module Partition = Lcs_graph.Partition
+
+type t = {
+  partition : Partition.t;
+  edge_sets : int list array;
+  covered : bool array;
+}
+
+let create ?covered partition edge_sets =
+  let k = Partition.k partition in
+  if Array.length edge_sets <> k then invalid_arg "Shortcut.create: arity";
+  let host = Partition.graph partition in
+  let m = Graph.m host in
+  Array.iter
+    (List.iter (fun e ->
+         if e < 0 || e >= m then invalid_arg "Shortcut.create: edge id out of range"))
+    edge_sets;
+  let covered =
+    match covered with
+    | None -> Array.make k true
+    | Some c ->
+        if Array.length c <> k then invalid_arg "Shortcut.create: covered arity";
+        Array.copy c
+  in
+  { partition; edge_sets = Array.map (fun l -> l) edge_sets; covered }
+
+let partition t = t.partition
+let graph t = Partition.graph t.partition
+let k t = Array.length t.edge_sets
+let edges t i = t.edge_sets.(i)
+let is_covered t i = t.covered.(i)
+
+let covered_count t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.covered
+
+let is_partial t = covered_count t < k t
+
+let empty partition =
+  create partition (Array.make (Partition.k partition) [])
+
+let union a b =
+  if a.partition != b.partition && Partition.graph a.partition != Partition.graph b.partition
+  then invalid_arg "Shortcut.union: different partitions";
+  if Array.length a.edge_sets <> Array.length b.edge_sets then
+    invalid_arg "Shortcut.union: arity mismatch";
+  let merge la lb =
+    let seen = Hashtbl.create 16 in
+    let keep acc e =
+      if Hashtbl.mem seen e then acc
+      else begin
+        Hashtbl.add seen e ();
+        e :: acc
+      end
+    in
+    List.rev (List.fold_left keep (List.fold_left keep [] la) lb)
+  in
+  {
+    partition = a.partition;
+    edge_sets = Array.init (Array.length a.edge_sets) (fun i -> merge a.edge_sets.(i) b.edge_sets.(i));
+    covered = Array.init (Array.length a.covered) (fun i -> a.covered.(i) || b.covered.(i));
+  }
+
+let total_edge_occurrences t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.edge_sets
+
+let pp ppf t =
+  Format.fprintf ppf "shortcut(k=%d, covered=%d, load=%d)" (k t) (covered_count t)
+    (total_edge_occurrences t)

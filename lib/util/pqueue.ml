@@ -1,0 +1,73 @@
+(* Entries carry a monotone sequence number so that equal priorities pop in
+   FIFO order: the heap key is the pair (priority, seq). *)
+type 'a entry = { priority : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let push t ~priority value =
+  let entry = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(parent);
+    t.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek_min t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.priority, top.value)
+  end

@@ -1,0 +1,30 @@
+(** Small descriptive-statistics helpers used by the experiment harnesses. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;  (** 90th percentile, linear interpolation *)
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. The input need not be sorted. *)
+
+val of_ints : int array -> float array
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit pts] is the least-squares [(slope, intercept)] of y on x.
+    Requires at least two points with distinct x. *)
+
+val ratio_series : (float * float) array -> float array
+(** Per-point [y /. x] ratios; used to check "measured / bound" stays O(1). *)

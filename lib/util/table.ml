@@ -1,0 +1,62 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list;  (* reversed *)
+}
+
+let create ?title columns =
+  let headers = Array.of_list (List.map fst columns) in
+  let aligns = Array.of_list (List.map snd columns) in
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_int_row t cells = add_row t (List.map string_of_int cells)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_row cells =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cells.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let rule = Array.map (fun w -> String.make w '-') widths in
+  emit_row rule;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%d" (int_of_float x)
+  else Printf.sprintf "%.2f" x

@@ -1,0 +1,28 @@
+(** Aligned ASCII table rendering for experiment reports.
+
+    All experiment harnesses print through this module so that the output of
+    [bin/experiments] and [bench/main.exe] is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_int_row : t -> int list -> unit
+(** Convenience: a row of integers. *)
+
+val render : t -> string
+(** Renders with a header rule and column padding. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_float : float -> string
+(** Compact float formatting used across experiment tables: integers print
+    without a fractional part, otherwise two decimals. *)

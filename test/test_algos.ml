@@ -1,0 +1,238 @@
+(* Tests for the algorithm layer: MST, connectivity, min-cut, SSSP, and
+   their sequential references. *)
+
+open Core
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let random_connected_graph seed ~n ~extra =
+  let rng = Rng.create seed in
+  let b = Builder.create ~n in
+  for v = 1 to n - 1 do
+    Builder.add_edge b (Rng.int rng v) v
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 20 * extra do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Builder.mem_edge b u v) then begin
+      Builder.add_edge b u v;
+      incr added
+    end
+  done;
+  Builder.graph b
+
+(* --- Kruskal ------------------------------------------------------------ *)
+
+let kruskal_path () =
+  let g = Generators.path 5 in
+  let w = Weights.uniform g 1 in
+  check (Alcotest.list Alcotest.int) "tree edges" [ 0; 1; 2; 3 ] (Kruskal.mst w);
+  check Alcotest.int "weight" 4 (Kruskal.total_weight w)
+
+let kruskal_cycle_drops_heaviest () =
+  let g = Generators.cycle 4 in
+  let w = Weights.create g (fun e -> e + 1) in
+  (* Edge 3 (weight 4) is the heaviest on the unique cycle. *)
+  check (Alcotest.list Alcotest.int) "drops heaviest" [ 0; 1; 2 ] (Kruskal.mst w)
+
+(* --- Stoer-Wagner --------------------------------------------------------- *)
+
+let stoer_wagner_known_cuts () =
+  check Alcotest.int "path" 1 (Stoer_wagner.min_cut (Generators.path 6));
+  check Alcotest.int "cycle" 2 (Stoer_wagner.min_cut (Generators.cycle 9));
+  check Alcotest.int "K5" 4 (Stoer_wagner.min_cut (Generators.complete 5));
+  check Alcotest.int "star" 1 (Stoer_wagner.min_cut (Generators.star 7));
+  check Alcotest.int "grid" 2 (Stoer_wagner.min_cut (Generators.grid ~rows:4 ~cols:5));
+  check Alcotest.int "torus" 4 (Stoer_wagner.min_cut (Generators.torus ~rows:4 ~cols:5))
+
+let stoer_wagner_bridge () =
+  (* Two triangles joined by one bridge edge. *)
+  let g =
+    Graph.create ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (2, 3) ]
+  in
+  let value, side = Stoer_wagner.min_cut_with_side g in
+  check Alcotest.int "bridge cut" 1 value;
+  check Alcotest.bool "side is one triangle" true
+    (List.sort compare side = [ 0; 1; 2 ] || List.sort compare side = [ 3; 4; 5 ])
+
+let stoer_wagner_weighted () =
+  let g = Generators.cycle 4 in
+  let w = Weights.create g (fun e -> if e = 0 then 10 else 1) in
+  (* The cheapest cut severs two weight-1 edges: value 2. *)
+  check Alcotest.int "weighted" 2 (Stoer_wagner.min_cut ~weights:w g)
+
+(* --- MST ------------------------------------------------------------------ *)
+
+let mst_matches_kruskal =
+  QCheck.Test.make ~name:"Boruvka(thm31) = Kruskal" ~count:15
+    QCheck.(pair (int_bound 1000) (int_range 4 40))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let w = Weights.random_distinct (Rng.create (seed + 1)) g in
+      let result = Mst.boruvka ~seed:(seed + 2) w in
+      result.Mst.edges = Kruskal.mst w)
+
+let mst_baseline_mode_matches =
+  QCheck.Test.make ~name:"Boruvka(baseline) = Kruskal" ~count:10
+    QCheck.(pair (int_bound 1000) (int_range 4 30))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let w = Weights.random_distinct (Rng.create (seed + 1)) g in
+      let result = Mst.boruvka ~seed:(seed + 2) ~mode:Boruvka_engine.Bfs_baseline w in
+      result.Mst.edges = Kruskal.mst w)
+
+let mst_induced_mode_matches =
+  QCheck.Test.make ~name:"Boruvka(induced-only) = Kruskal" ~count:10
+    QCheck.(pair (int_bound 1000) (int_range 4 30))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let w = Weights.random_distinct (Rng.create (seed + 1)) g in
+      let result = Mst.boruvka ~seed:(seed + 2) ~mode:Boruvka_engine.Induced_only w in
+      result.Mst.edges = Kruskal.mst w)
+
+let mst_grid_phases () =
+  let g = Generators.grid ~rows:8 ~cols:8 in
+  let w = Weights.random_distinct (Rng.create 3) g in
+  let result = Mst.boruvka w in
+  check Alcotest.int "spanning tree size" 63 (List.length result.Mst.edges);
+  check Alcotest.bool "log phases" true
+    (result.Mst.accounting.Boruvka_engine.phases <= 9);
+  check Alcotest.bool "rounds measured" true
+    (result.Mst.accounting.Boruvka_engine.pa_rounds > 0)
+
+(* --- Connectivity ------------------------------------------------------------ *)
+
+let connectivity_matches_components =
+  QCheck.Test.make ~name:"PA connectivity = sequential components" ~count:12
+    QCheck.(triple (int_bound 1000) (int_range 4 30) (int_range 0 100))
+    (fun (seed, n, keep_pct) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let rng = Rng.create (seed + 5) in
+      let kept = Array.init (Graph.m g) (fun _ -> Rng.int rng 100 < keep_pct) in
+      let r = Connectivity.components ~seed:(seed + 6) g ~keep:(fun e -> kept.(e)) in
+      let sequential =
+        let uf = Union_find.create (Graph.n g) in
+        Graph.iter_edges g (fun e u v -> if kept.(e) then ignore (Union_find.union uf u v));
+        Union_find.count uf
+      in
+      r.Connectivity.components = sequential)
+
+let connectivity_full_graph () =
+  let g = Generators.grid ~rows:5 ~cols:5 in
+  let r = Connectivity.components g ~keep:(fun _ -> true) in
+  check Alcotest.int "one component" 1 r.Connectivity.components;
+  let r0 = Connectivity.components g ~keep:(fun _ -> false) in
+  check Alcotest.int "all singletons" 25 r0.Connectivity.components
+
+(* --- Min-cut -------------------------------------------------------------- *)
+
+let mincut_degree_bound () =
+  check Alcotest.int "cycle degree bound" 2
+    (Mincut.degree_upper_bound (Generators.cycle 8));
+  check Alcotest.int "grid corner" 2
+    (Mincut.degree_upper_bound (Generators.grid ~rows:4 ~cols:4))
+
+let mincut_estimate_shape () =
+  (* The estimator must separate a cycle (λ=2) from a 5-clique blowup
+     (λ=4): coarse but meaningful, with fixed seeds for determinism. *)
+  let lambda_of g = (Mincut.estimate ~seed:12 ~trials:4 g).Mincut.lambda in
+  let cycle = lambda_of (Generators.cycle 24) in
+  let torus = lambda_of (Generators.torus ~rows:5 ~cols:5) in
+  check Alcotest.bool "cycle estimate in range" true (cycle >= 0.5 && cycle <= 10.);
+  check Alcotest.bool "torus >= cycle" true (torus >= cycle);
+  let est = Mincut.estimate ~seed:12 ~trials:4 (Generators.cycle 24) in
+  check Alcotest.bool "upper bound respected" true
+    (float_of_int est.Mincut.min_degree >= 1.);
+  check Alcotest.bool "rounds accounted" true (est.Mincut.pa_rounds > 0)
+
+(* --- Karger ------------------------------------------------------------------ *)
+
+let karger_matches_stoer_wagner =
+  QCheck.Test.make ~name:"Karger = Stoer-Wagner on random graphs" ~count:10
+    QCheck.(pair (int_bound 1000) (int_range 4 16))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:n in
+      Karger.min_cut (Rng.create (seed + 1)) g = Stoer_wagner.min_cut g)
+
+let karger_known () =
+  check Alcotest.int "cycle" 2 (Karger.min_cut (Rng.create 1) (Generators.cycle 12));
+  check Alcotest.int "K6" 5 (Karger.min_cut (Rng.create 1) (Generators.complete 6));
+  check Alcotest.int "path" 1 (Karger.min_cut (Rng.create 1) (Generators.path 8));
+  check Alcotest.bool "one contraction upper-bounds" true
+    (Karger.contract_once (Rng.create 2) (Generators.cycle 12) >= 2)
+
+let mincut_lambda_one_and_refine () =
+  check Alcotest.bool "lollipop has a bridge" true
+    (Mincut.lambda_is_one (Generators.lollipop ~clique:5 ~tail:4));
+  check Alcotest.bool "torus bridgeless" false
+    (Mincut.lambda_is_one (Generators.torus ~rows:4 ~cols:4));
+  let est = Mincut.estimate ~seed:12 ~trials:3 (Generators.lollipop ~clique:5 ~tail:4) in
+  check (Alcotest.float 1e-9) "refine snaps bridges to 1" 1.
+    (Mincut.refine (Generators.lollipop ~clique:5 ~tail:4) est)
+
+(* --- SSSP ------------------------------------------------------------------ *)
+
+let sssp_bfs_matches () =
+  let g = Generators.grid ~rows:5 ~cols:7 in
+  let dist, stats = Sssp.bfs g ~src:3 in
+  let expected = Bfs.distances g ~src:3 in
+  check Alcotest.bool "distances equal" true (dist = expected);
+  check Alcotest.bool "O(D) rounds" true (stats.Simulator.rounds <= 6 * (5 + 7))
+
+let bellman_ford_matches_dijkstra =
+  QCheck.Test.make ~name:"distributed Bellman-Ford = Dijkstra" ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 3 30))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let w = Weights.random (Rng.create (seed + 1)) g ~max_weight:20 in
+      let result = Sssp.bellman_ford w ~src:0 in
+      result.Sssp.distances = Dijkstra.distances w ~src:0)
+
+let bellman_ford_convergence () =
+  let g = Generators.path 12 in
+  let w = Weights.uniform g 3 in
+  let r = Sssp.bellman_ford w ~src:0 in
+  check Alcotest.int "distance to end" 33 r.Sssp.distances.(11);
+  (* Hop h settles in round h+1: the source's announcement takes one round
+     to reach hop 1, so hop 11 improves at round 12. *)
+  check Alcotest.int "converges in hop-diameter+1 rounds" 12 r.Sssp.convergence_round
+
+let bellman_ford_hop_bound () =
+  let g = Generators.path 10 in
+  let w = Weights.uniform g 1 in
+  let r = Sssp.bellman_ford ~hop_bound:3 w ~src:0 in
+  check Alcotest.int "within bound exact" 3 r.Sssp.distances.(3);
+  check Alcotest.int "beyond bound unreachable" max_int r.Sssp.distances.(9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      mst_matches_kruskal;
+      mst_baseline_mode_matches;
+      mst_induced_mode_matches;
+      connectivity_matches_components;
+      bellman_ford_matches_dijkstra;
+      karger_matches_stoer_wagner;
+    ]
+
+let suite =
+  [
+    case "kruskal: path" `Quick kruskal_path;
+    case "kruskal: cycle" `Quick kruskal_cycle_drops_heaviest;
+    case "stoer-wagner: known cuts" `Quick stoer_wagner_known_cuts;
+    case "stoer-wagner: bridge" `Quick stoer_wagner_bridge;
+    case "stoer-wagner: weighted" `Quick stoer_wagner_weighted;
+    case "mst: grid phases" `Quick mst_grid_phases;
+    case "connectivity: full graph" `Quick connectivity_full_graph;
+    case "mincut: degree bound" `Quick mincut_degree_bound;
+    case "mincut: estimate shape" `Slow mincut_estimate_shape;
+    case "mincut: bridges and refine" `Quick mincut_lambda_one_and_refine;
+    case "karger: known cuts" `Quick karger_known;
+    case "sssp: bfs matches" `Quick sssp_bfs_matches;
+    case "sssp: convergence" `Quick bellman_ford_convergence;
+    case "sssp: hop bound" `Quick bellman_ford_hop_bound;
+  ]
+  @ props

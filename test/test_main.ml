@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "low-congestion-shortcuts"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("congest", Test_congest.suite);
+      ("shortcut", Test_shortcut.suite);
+      ("partwise", Test_partwise.suite);
+      ("algos", Test_algos.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("experiments", Test_experiments.suite);
+      ("integration", Test_integration.suite);
+    ]

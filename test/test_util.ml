@@ -1,0 +1,306 @@
+(* Unit and property tests for Lcs_util: Rng, Stats, Table, Bitset, Pqueue. *)
+
+open Core
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check Alcotest.bool "different seeds diverge" true (!same < 4)
+
+let rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let from_child = Array.init 32 (fun _ -> Rng.bits64 child) in
+  let from_parent = Array.init 32 (fun _ -> Rng.bits64 parent) in
+  check Alcotest.bool "streams differ" true (from_child <> from_parent)
+
+let rng_copy_replays () =
+  let a = Rng.create 13 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xs = Array.init 16 (fun _ -> Rng.bits64 a) in
+  let ys = Array.init 16 (fun _ -> Rng.bits64 b) in
+  check Alcotest.bool "copy replays" true (xs = ys)
+
+let rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for bound = 1 to 40 do
+    for _ = 1 to 50 do
+      let v = Rng.int rng bound in
+      check Alcotest.bool "in range" true (v >= 0 && v < bound)
+    done
+  done
+
+let rng_int_rejects () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let rng_uniform01 () =
+  let rng = Rng.create 11 in
+  let total = ref 0. in
+  let samples = 10_000 in
+  for _ = 1 to samples do
+    let u = Rng.uniform01 rng in
+    check Alcotest.bool "in [0,1)" true (u >= 0. && u < 1.);
+    total := !total +. u
+  done;
+  let mean = !total /. float_of_int samples in
+  check Alcotest.bool "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.02)
+
+let rng_permutation_is_permutation =
+  QCheck.Test.make ~name:"Rng.permutation is a permutation" ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 1 200))
+    (fun (seed, n) ->
+      let p = Rng.permutation (Rng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all (fun b -> b) seen)
+
+let rng_sample_without_replacement =
+  QCheck.Test.make ~name:"Rng.sample_without_replacement distinct in-range" ~count:50
+    QCheck.(triple (int_bound 1000) (int_range 0 50) (int_range 50 300))
+    (fun (seed, k, n) ->
+      let s = Rng.sample_without_replacement (Rng.create seed) k n in
+      let tbl = Hashtbl.create 16 in
+      Array.length s = k
+      && Array.for_all
+           (fun v ->
+             let fresh = not (Hashtbl.mem tbl v) in
+             Hashtbl.replace tbl v ();
+             fresh && v >= 0 && v < n)
+           s)
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  check (Alcotest.float 1e-9) "mean" 3. s.Stats.mean;
+  check (Alcotest.float 1e-9) "median" 3. s.Stats.median;
+  check (Alcotest.float 1e-9) "min" 1. s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 5. s.Stats.max;
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.5) s.Stats.stddev
+
+let stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  check (Alcotest.float 1e-9) "p0" 10. (Stats.percentile xs 0.);
+  check (Alcotest.float 1e-9) "p100" 40. (Stats.percentile xs 100.);
+  check (Alcotest.float 1e-9) "p50 interpolates" 25. (Stats.percentile xs 50.)
+
+let stats_linear_fit () =
+  let slope, intercept = Stats.linear_fit [| (0., 1.); (1., 3.); (2., 5.) |] in
+  check (Alcotest.float 1e-9) "slope" 2. slope;
+  check (Alcotest.float 1e-9) "intercept" 1. intercept
+
+let stats_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean [||]))
+
+(* --- Table ------------------------------------------------------------ *)
+
+let table_renders_aligned () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "12345" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+      check Alcotest.int "rule matches header width" (String.length header)
+        (String.length rule)
+  | _ -> Alcotest.fail "missing rows");
+  (* Columns: "name" padded to width 5 ("alpha"), two-space separator,
+     "value" padded to width 5. *)
+  check Alcotest.bool "right aligned" true
+    (List.exists (fun l -> l = "b      12345") lines)
+
+let table_arity_mismatch () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let table_fmt_float () =
+  check Alcotest.string "integral" "7" (Table.fmt_float 7.);
+  check Alcotest.string "fractional" "2.50" (Table.fmt_float 2.5)
+
+(* --- Bitset ----------------------------------------------------------- *)
+
+let bitset_basics () =
+  let s = Bitset.create 100 in
+  check Alcotest.int "empty" 0 (Bitset.cardinal s);
+  Bitset.add s 3;
+  Bitset.add s 99;
+  Bitset.add s 3;
+  check Alcotest.int "cardinal" 2 (Bitset.cardinal s);
+  check Alcotest.bool "mem 3" true (Bitset.mem s 3);
+  check Alcotest.bool "mem 4" false (Bitset.mem s 4);
+  Bitset.remove s 3;
+  check Alcotest.bool "removed" false (Bitset.mem s 3);
+  check Alcotest.int "cardinal after remove" 1 (Bitset.cardinal s);
+  check (Alcotest.list Alcotest.int) "to_list" [ 99 ] (Bitset.to_list s)
+
+let bitset_out_of_range () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 8)
+
+let bitset_matches_model =
+  QCheck.Test.make ~name:"Bitset behaves like a set of ints" ~count:100
+    QCheck.(list (pair bool (int_bound 63)))
+    (fun ops ->
+      let s = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Bitset.cardinal s = Hashtbl.length model
+      && List.for_all (fun i -> Bitset.mem s i = Hashtbl.mem model i)
+           (List.init 64 (fun i -> i)))
+
+let bitset_union_inter () =
+  let a = Bitset.of_list 32 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 32 [ 3; 4 ] in
+  check Alcotest.int "inter" 1 (Bitset.inter_cardinal a b);
+  Bitset.union_into a b;
+  check Alcotest.int "union card" 4 (Bitset.cardinal a);
+  check (Alcotest.list Alcotest.int) "union elements" [ 1; 2; 3; 4 ] (Bitset.to_list a)
+
+(* --- Pqueue ----------------------------------------------------------- *)
+
+let pqueue_orders () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:5 "e";
+  Pqueue.push q ~priority:1 "a";
+  Pqueue.push q ~priority:3 "c";
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "peek"
+    (Some (1, "a")) (Pqueue.peek_min q);
+  let order = List.init 3 (fun _ -> Pqueue.pop_min q) in
+  check
+    (Alcotest.list (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)))
+    "pop order"
+    [ Some (1, "a"); Some (3, "c"); Some (5, "e") ]
+    order;
+  check Alcotest.bool "drained" true (Pqueue.is_empty q)
+
+let pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun s -> Pqueue.push q ~priority:7 s) [ "first"; "second"; "third" ];
+  let pop () = match Pqueue.pop_min q with Some (_, v) -> v | None -> "?" in
+  (* Bind sequentially: list literals evaluate right-to-left in OCaml. *)
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  check (Alcotest.list Alcotest.string) "FIFO among ties"
+    [ "first"; "second"; "third" ]
+    [ first; second; third ]
+
+let pqueue_matches_sort =
+  QCheck.Test.make ~name:"Pqueue drains in sorted order" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare priorities)
+
+let rng_bernoulli_extremes () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    check Alcotest.bool "p=0 never" false (Rng.bernoulli rng 0.);
+    check Alcotest.bool "p=1 always" true (Rng.bernoulli rng 1.)
+  done;
+  let heads = ref 0 in
+  for _ = 1 to 2000 do
+    if Rng.bool rng then incr heads
+  done;
+  check Alcotest.bool "fair coin" true (abs (!heads - 1000) < 120)
+
+let rng_choose () =
+  let rng = Rng.create 4 in
+  check Alcotest.int "singleton" 7 (Rng.choose rng [| 7 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng ([||] : int array)))
+
+let stats_of_ints_and_ratios () =
+  check Alcotest.bool "of_ints" true (Stats.of_ints [| 1; 2 |] = [| 1.; 2. |]);
+  check Alcotest.bool "ratio series" true
+    (Stats.ratio_series [| (2., 6.); (4., 4.) |] = [| 3.; 1. |])
+
+let bitset_copy_and_clear () =
+  let a = Bitset.of_list 16 [ 1; 5 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 9;
+  check Alcotest.int "copy isolated" 2 (Bitset.cardinal a);
+  check Alcotest.int "copy grew" 3 (Bitset.cardinal b);
+  Bitset.clear b;
+  check Alcotest.int "cleared" 0 (Bitset.cardinal b);
+  check Alcotest.bool "fold sums" true (Bitset.fold ( + ) a 0 = 6)
+
+let table_int_rows () =
+  let t = Table.create [ ("a", Table.Right); ("b", Table.Right) ] in
+  Table.add_int_row t [ 1; 2 ];
+  check Alcotest.bool "renders ints" true
+    (String.length (Table.render t) > 0)
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [
+      rng_permutation_is_permutation;
+      rng_sample_without_replacement;
+      bitset_matches_model;
+      pqueue_matches_sort;
+    ]
+
+let suite =
+  [
+    case "rng: deterministic" `Quick rng_deterministic;
+    case "rng: seed sensitivity" `Quick rng_seed_sensitivity;
+    case "rng: split independent" `Quick rng_split_independent;
+    case "rng: copy replays" `Quick rng_copy_replays;
+    case "rng: int bounds" `Quick rng_int_bounds;
+    case "rng: int rejects bad bound" `Quick rng_int_rejects;
+    case "rng: uniform01 mean" `Quick rng_uniform01;
+    case "stats: summary" `Quick stats_summary;
+    case "stats: percentile" `Quick stats_percentile;
+    case "stats: linear fit" `Quick stats_linear_fit;
+    case "stats: empty raises" `Quick stats_empty_raises;
+    case "table: alignment" `Quick table_renders_aligned;
+    case "table: arity" `Quick table_arity_mismatch;
+    case "table: float formatting" `Quick table_fmt_float;
+    case "bitset: basics" `Quick bitset_basics;
+    case "bitset: out of range" `Quick bitset_out_of_range;
+    case "bitset: union/inter" `Quick bitset_union_inter;
+    case "pqueue: ordering" `Quick pqueue_orders;
+    case "pqueue: FIFO ties" `Quick pqueue_fifo_ties;
+    case "rng: bernoulli extremes + fair coin" `Quick rng_bernoulli_extremes;
+    case "rng: choose" `Quick rng_choose;
+    case "stats: of_ints/ratios" `Quick stats_of_ints_and_ratios;
+    case "bitset: copy/clear/fold" `Quick bitset_copy_and_clear;
+    case "table: int rows" `Quick table_int_rows;
+  ]
+  @ props
