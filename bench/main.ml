@@ -153,10 +153,40 @@ let benchmark () =
     (fun (name, ns, r2) ->
       Table.add_row table [ name; human ns; Printf.sprintf "%.3f" r2 ])
     (List.sort compare !rows);
-  Table.print table
+  Table.print table;
+  List.sort compare !rows
+
+(* Machine-readable timings next to the ASCII table, so the kernels' perf
+   trajectory can be tracked across commits by diffing JSON instead of
+   re-reading tables. *)
+let write_json path rows =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "lcs-bench-kernels/1");
+        ("unit", Json.String "ns/run");
+        ( "kernels",
+          Json.Obj
+            (List.map
+               (fun (name, ns, r2) ->
+                 ( name,
+                   Json.Obj
+                     [ ("time_ns", Json.Float ns); ("r_square", Json.Float r2) ] ))
+               rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
-  benchmark ();
+  let rows = benchmark () in
+  let json_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_kernels.json"
+  in
+  write_json json_path rows;
   print_newline ();
   print_endline "=== experiment tables (one per paper claim; see EXPERIMENTS.md) ===";
   print_newline ();

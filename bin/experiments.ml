@@ -4,19 +4,44 @@
      experiments               run everything
      experiments --id E2       run one experiment
      experiments --list        list experiment ids
-     experiments --seed 7      change the master seed *)
+     experiments --seed 7      change the master seed
+     experiments --json        machine-readable output (array without --id)
+     experiments --csv         the table alone, as CSV (requires --id)
+     experiments --out F       write to F instead of stdout *)
 
 open Cmdliner
 
-let run id_opt list_only seed =
+let output path contents =
+  match path with
+  | None -> print_string contents
+  | Some p ->
+      let oc = open_out p in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" p (String.length contents)
+
+let run id_opt list_only seed json csv out =
   if list_only then begin
     List.iter (fun (id, _f) -> print_endline id) Lcs_experiments.Registry.all;
     0
   end
+  else if csv && id_opt = None then begin
+    Printf.eprintf "--csv requires --id (one table per file)\n";
+    1
+  end
   else
     match id_opt with
     | None ->
-        Lcs_experiments.Registry.run_all ~seed ();
+        if json then begin
+          let outcomes =
+            List.map (fun (_id, f) -> f ?seed:(Some seed) ()) Lcs_experiments.Registry.all
+          in
+          let doc =
+            Core.Json.List (List.map Lcs_experiments.Exp_types.to_json outcomes)
+          in
+          output out (Core.Json.to_string doc ^ "\n")
+        end
+        else Lcs_experiments.Registry.run_all ~seed ();
         0
     | Some id -> (
         match Lcs_experiments.Registry.find id with
@@ -24,7 +49,13 @@ let run id_opt list_only seed =
             Printf.eprintf "unknown experiment id %S (try --list)\n" id;
             1
         | Some f ->
-            Lcs_experiments.Exp_types.print (f ~seed ());
+            let outcome = f ~seed () in
+            if csv then
+              output out (Core.Table.to_csv outcome.Lcs_experiments.Exp_types.table)
+            else if json then
+              output out
+                (Core.Json.to_string (Lcs_experiments.Exp_types.to_json outcome) ^ "\n")
+            else Lcs_experiments.Exp_types.print outcome;
             0)
 
 let id_arg =
@@ -39,9 +70,25 @@ let seed_arg =
   let doc = "Master seed for all randomized pieces." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let json_arg =
+  let doc =
+    "Emit JSON instead of ASCII tables: one outcome object with --id, an \
+     array of all outcomes otherwise. Cells match the printed tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit the experiment's table as CSV (requires --id)." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let out_arg =
+  let doc = "Write the output to this file instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+
 let cmd =
   let doc = "regenerate the paper-reproduction experiment tables" in
   let info = Cmd.info "experiments" ~doc in
-  Cmd.v info Term.(const run $ id_arg $ list_arg $ seed_arg)
+  Cmd.v info
+    Term.(const run $ id_arg $ list_arg $ seed_arg $ json_arg $ csv_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

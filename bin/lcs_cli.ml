@@ -149,7 +149,7 @@ let shortcut_cmd =
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run family parts seed =
+  let run family parts seed trace =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -163,11 +163,68 @@ let pa_cmd =
     let bare = Aggregate.minimum (Rng.create (seed + 6)) (Shortcut.empty partition) ~values in
     Printf.printf "without shortcuts:          %d rounds, %d messages\n"
       bare.Aggregate.rounds bare.Aggregate.messages;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        (* The traced run is the genuine CONGEST execution (Sim_aggregate):
+           every transmission crosses the simulator's enforced 1-word
+           bandwidth and lands in the event stream. *)
+        let recorder = Trace.Recorder.create () in
+        let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+        let tracer =
+          Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ]
+        in
+        let sim = Sim_aggregate.minimum ~tracer (Rng.create (seed + 7)) sc ~values in
+        let stats = sim.Sim_aggregate.stats in
+        let doc =
+          Json.Obj
+            [
+              ("command", Json.String "pa");
+              ("protocol", Json.String "sim_aggregate.minimum");
+              ("seed", Json.Int seed);
+              ("n", Json.Int (Graph.n g));
+              ("m", Json.Int (Graph.m g));
+              ("parts", Json.Int (Shortcut.k sc));
+              ( "stats",
+                Json.Obj
+                  [
+                    ("rounds", Json.Int stats.Simulator.rounds);
+                    ("messages", Json.Int stats.Simulator.messages);
+                    ("words", Json.Int stats.Simulator.words);
+                    ("max_edge_load", Json.Int stats.Simulator.max_edge_load);
+                  ] );
+              ("completion_round", Json.Int sim.Sim_aggregate.completion_round);
+              ("profile", Trace.Profile.to_json profile);
+              ("events", Trace.Recorder.to_json recorder);
+            ]
+        in
+        (match open_out path with
+        | oc ->
+            output_string oc (Json.to_string doc);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf
+              "trace: wrote %s (%d events; %d words over %d edges in %d rounds)\n"
+              path
+              (Trace.Recorder.length recorder)
+              (Trace.Profile.total_words profile)
+              (Trace.Profile.edges_used profile)
+              (Trace.Profile.rounds profile)
+        | exception Sys_error msg ->
+            Printf.eprintf "lcs: cannot write trace: %s\n" msg;
+            exit 1));
     0
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"run the aggregation under the enforced simulator with tracing \
+                   on and write the JSON run report (stats, per-edge congestion \
+                   profile, event stream) to $(docv)")
   in
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
-    Term.(const run $ graph_arg $ parts_arg $ seed_arg)
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 

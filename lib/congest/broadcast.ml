@@ -1,6 +1,6 @@
 type state = { value : int option; sent : bool }
 
-let run g info ~value =
+let run ?tracer g info ~value =
   let program =
     {
       Simulator.init =
@@ -27,7 +27,7 @@ let run g info ~value =
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run g program in
+  let states, stats = Simulator.run ?tracer g program in
   let values =
     Array.map
       (fun st -> match st.value with Some v -> v | None -> invalid_arg "Broadcast: unreached")

@@ -3,9 +3,10 @@
     One word per tree edge; [height + 1] rounds. *)
 
 val run :
+  ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
   Tree_info.t ->
   value:int ->
   int array * Simulator.stats
 (** [run g info ~value] returns each node's received value and the
-    measured stats. *)
+    measured stats. [tracer] is forwarded to {!Simulator.run}. *)

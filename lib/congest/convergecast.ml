@@ -1,6 +1,6 @@
 type state = { acc : int; waiting : int; sent : bool }
 
-let run g info ~values ~combine =
+let run ?tracer g info ~values ~combine =
   let program =
     {
       Simulator.init =
@@ -31,5 +31,5 @@ let run g info ~values ~combine =
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run g program in
+  let states, stats = Simulator.run ?tracer g program in
   (states.(info.Tree_info.root).acc, stats)

@@ -5,10 +5,11 @@
     have reported. One word per tree edge; [height + 1] rounds. *)
 
 val run :
+  ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
   Tree_info.t ->
   values:int array ->
   combine:(int -> int -> int) ->
   int * Simulator.stats
 (** [run g info ~values ~combine] returns the combined value at the root
-    and the measured stats. *)
+    and the measured stats. [tracer] is forwarded to {!Simulator.run}. *)

@@ -2,7 +2,7 @@ module Graph = Lcs_graph.Graph
 
 type state = { best : int; clock : int; announce : bool; budget : int }
 
-let run ?diameter_bound g =
+let run ?diameter_bound ?tracer g =
   let n = Graph.n g in
   if n = 0 then invalid_arg "Leader_election.run: empty graph";
   let budget = (match diameter_bound with Some d -> d | None -> n - 1) + 1 in
@@ -30,7 +30,7 @@ let run ?diameter_bound g =
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run g program in
+  let states, stats = Simulator.run ?tracer g program in
   let leader = states.(0).best in
   Array.iter
     (fun st -> if st.best <> leader then failwith "Leader_election: disagreement")

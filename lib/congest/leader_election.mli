@@ -9,9 +9,10 @@
 
 val run :
   ?diameter_bound:int ->
+  ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
   int * Simulator.stats
 (** [run g] returns the elected leader (= max vertex id, which every node
     agrees on — asserted) and the stats. [diameter_bound] defaults to
     [n - 1], the always-safe bound; pass the actual diameter for honest
-    O(D) rounds. *)
+    O(D) rounds. [tracer] is forwarded to {!Simulator.run}. *)

@@ -22,6 +22,8 @@ type stats = {
   max_edge_load : int;
 }
 
+type profiled_stats = { base : stats; profile : Trace.Profile.t }
+
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 exception Round_limit of int
 
@@ -49,7 +51,7 @@ let reverse_ports ctxs =
         ctx.neighbors)
     ctxs
 
-let run ?(bandwidth = 1) ?(max_rounds = 100_000) g program =
+let run ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer g program =
   if bandwidth < 1 then invalid_arg "Simulator.run: bandwidth";
   let n = Graph.n g in
   let ctxs = Array.init n (make_ctx g) in
@@ -64,12 +66,20 @@ let run ?(bandwidth = 1) ?(max_rounds = 100_000) g program =
   let messages = ref 0 in
   let words = ref 0 in
   let max_edge_load = ref 0 in
+  (* Tracing bookkeeping lives behind the option so the untraced hot path
+     pays one branch per message and nothing else. *)
+  let round_max = ref 0 in
   (* A node with an empty inbox whose last round produced no messages would
      never change state again only if its program is quiescent; we cannot
      know that, so we keep stepping until is_halted. *)
   while !live > 0 do
     if !rounds >= max_rounds then raise (Round_limit !rounds);
     incr rounds;
+    (match tracer with
+    | None -> ()
+    | Some t ->
+        round_max := 0;
+        t (Trace.Round_start { round = !rounds; live = !live }));
     (* Per-round, per-(node, port) word budget. *)
     let budget = Hashtbl.create 64 in
     for v = 0 to n - 1 do
@@ -98,11 +108,27 @@ let run ?(bandwidth = 1) ?(max_rounds = 100_000) g program =
             words := !words + size;
             let w = ctx.neighbors.(port) in
             let back = rev.(v).(port) in
+            (match tracer with
+            | None -> ()
+            | Some t ->
+                if used > !round_max then round_max := used;
+                t
+                  (Trace.Send
+                     {
+                       round = !rounds;
+                       src = v;
+                       dst = w;
+                       edge = ctx.neighbor_edges.(port);
+                       words = size;
+                     }));
             next_inboxes.(w) <- (back, msg) :: next_inboxes.(w))
           outbox;
         if program.is_halted state then begin
           halted.(v) <- true;
-          decr live
+          decr live;
+          match tracer with
+          | None -> ()
+          | Some t -> t (Trace.Halt { round = !rounds; node = v })
         end
       end
       else inboxes.(v) <- []
@@ -110,8 +136,21 @@ let run ?(bandwidth = 1) ?(max_rounds = 100_000) g program =
     for v = 0 to n - 1 do
       inboxes.(v) <- next_inboxes.(v);
       next_inboxes.(v) <- []
-    done
+    done;
+    match tracer with
+    | None -> ()
+    | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })
   done;
   ( states,
     { rounds = !rounds; messages = !messages; words = !words; max_edge_load = !max_edge_load }
   )
+
+let run_profiled ?bandwidth ?max_rounds ?tracer g program =
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let tracer =
+    match tracer with
+    | None -> Trace.Profile.tracer profile
+    | Some t -> Trace.tee [ Trace.Profile.tracer profile; t ]
+  in
+  let states, base = run ?bandwidth ?max_rounds ~tracer g program in
+  (states, { base; profile })

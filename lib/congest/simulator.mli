@@ -44,6 +44,12 @@ type stats = {
   max_edge_load : int;  (** max words on one edge-direction in one round *)
 }
 
+type profiled_stats = {
+  base : stats;
+  profile : Trace.Profile.t;
+      (** per-edge / per-round congestion profile of the same run *)
+}
+
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 
 exception Round_limit of int
@@ -52,9 +58,26 @@ exception Round_limit of int
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) program ->
   'state array * stats
 (** Runs the program to completion. [bandwidth] defaults to 1 word;
     [max_rounds] defaults to [100_000]. Returns each node's final state and
-    the round/message accounting. *)
+    the round/message accounting. [tracer] (default absent) receives every
+    {!Trace.event} of the run — round boundaries, each message with its
+    host edge id, node halts, per-round bandwidth high-water marks; when
+    absent the run pays one branch per message and allocates nothing, so
+    tracing never perturbs what it observes. *)
+
+val run_profiled :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) program ->
+  'state array * profiled_stats
+(** {!run} with a {!Trace.Profile} collector attached: the extended stats
+    carry the per-edge / per-round congestion profile alongside the four
+    aggregates (the profile's [total_words] equals [base.words]). An
+    additional [tracer] is teed in after the profile collector. *)

@@ -110,7 +110,7 @@ let on_round ctx state ~inbox =
       else (state, [])
   | Finished -> (state, [])
 
-let run ?max_rounds g ~root =
+let run ?max_rounds ?tracer g ~root =
   let program =
     {
       Simulator.init = (fun ctx -> initial (ctx.Simulator.node = root) ctx);
@@ -119,7 +119,7 @@ let run ?max_rounds g ~root =
       msg_words = words;
     }
   in
-  let states, stats = Simulator.run ?max_rounds g program in
+  let states, stats = Simulator.run ?max_rounds ?tracer g program in
   let n = Graph.n g in
   let parent = Array.make n (-1) in
   let parent_edge = Array.make n (-1) in

@@ -11,8 +11,10 @@
 
 val run :
   ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
   root:int ->
   Lcs_graph.Rooted_tree.t * int * Simulator.stats
 (** [run g ~root] is [(tree, height, stats)]. On a disconnected graph some
-    node never joins and the simulation raises {!Simulator.Round_limit}. *)
+    node never joins and the simulation raises {!Simulator.Round_limit}.
+    [tracer] is forwarded to {!Simulator.run}. *)

@@ -1,0 +1,195 @@
+module Json = Lcs_util.Json
+
+type event =
+  | Round_start of { round : int; live : int }
+  | Send of { round : int; src : int; dst : int; edge : int; words : int }
+  | Halt of { round : int; node : int }
+  | Round_end of { round : int; max_edge_load : int }
+
+type tracer = event -> unit
+
+let tee tracers event = List.iter (fun t -> t event) tracers
+
+let event_to_json = function
+  | Round_start { round; live } ->
+      Json.Obj [ ("t", Json.String "round_start"); ("round", Json.Int round); ("live", Json.Int live) ]
+  | Send { round; src; dst; edge; words } ->
+      Json.Obj
+        [
+          ("t", Json.String "send");
+          ("round", Json.Int round);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("edge", Json.Int edge);
+          ("words", Json.Int words);
+        ]
+  | Halt { round; node } ->
+      Json.Obj [ ("t", Json.String "halt"); ("round", Json.Int round); ("node", Json.Int node) ]
+  | Round_end { round; max_edge_load } ->
+      Json.Obj
+        [
+          ("t", Json.String "round_end");
+          ("round", Json.Int round);
+          ("max_edge_load", Json.Int max_edge_load);
+        ]
+
+(* --- growable int array -------------------------------------------------- *)
+
+(* Stdlib Dynarray arrives in OCaml 5.2; this is the minimal int-only
+   subset the collectors need. *)
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 16 0; len = 0 }
+
+  let ensure b i =
+    if i >= Array.length b.data then begin
+      let cap = ref (Array.length b.data) in
+      while i >= !cap do
+        cap := 2 * !cap
+      done;
+      let data = Array.make !cap 0 in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    if i >= b.len then b.len <- i + 1
+
+  let add b i v =
+    ensure b i;
+    b.data.(i) <- b.data.(i) + v
+
+  let set_max b i v =
+    ensure b i;
+    if v > b.data.(i) then b.data.(i) <- v
+
+  let get b i = if i < b.len then b.data.(i) else 0
+  let to_array b = Array.sub b.data 0 b.len
+end
+
+(* --- Recorder ------------------------------------------------------------ *)
+
+module Recorder = struct
+  type t = { mutable events : event list; mutable count : int }
+
+  let create () = { events = []; count = 0 }
+
+  let tracer r event =
+    r.events <- event :: r.events;
+    r.count <- r.count + 1
+
+  let events r = List.rev r.events
+  let length r = r.count
+  let to_json r = Json.List (List.rev_map event_to_json r.events)
+end
+
+(* --- Profile ------------------------------------------------------------- *)
+
+module Profile = struct
+  type t = {
+    edge_words : Ibuf.t;  (* per host edge id, both directions summed *)
+    round_words : Ibuf.t;  (* words sent in each round; index = round - 1 *)
+    round_max : Ibuf.t;  (* per-round max single-edge-direction load *)
+    halt_rounds : Ibuf.t;  (* nodes halting in each round *)
+    mutable rounds : int;
+    mutable total_words : int;
+    mutable total_messages : int;
+  }
+
+  let create ?edges () =
+    let edge_words = Ibuf.create () in
+    (match edges with Some m when m > 0 -> Ibuf.ensure edge_words (m - 1) | _ -> ());
+    {
+      edge_words;
+      round_words = Ibuf.create ();
+      round_max = Ibuf.create ();
+      halt_rounds = Ibuf.create ();
+      rounds = 0;
+      total_words = 0;
+      total_messages = 0;
+    }
+
+  let tracer p = function
+    | Round_start { round; _ } -> if round > p.rounds then p.rounds <- round
+    | Send { round; edge; words; _ } ->
+        Ibuf.add p.edge_words edge words;
+        Ibuf.add p.round_words (round - 1) words;
+        p.total_words <- p.total_words + words;
+        p.total_messages <- p.total_messages + 1;
+        if round > p.rounds then p.rounds <- round
+    | Halt { round; _ } -> Ibuf.add p.halt_rounds (round - 1) 1
+    | Round_end { round; max_edge_load } ->
+        Ibuf.set_max p.round_max (round - 1) max_edge_load;
+        if round > p.rounds then p.rounds <- round
+
+  let rounds p = p.rounds
+  let total_words p = p.total_words
+  let total_messages p = p.total_messages
+  let edge_words p = Ibuf.to_array p.edge_words
+
+  let load_curve p =
+    let curve = Ibuf.to_array p.round_words in
+    if Array.length curve >= p.rounds then curve
+    else Array.init p.rounds (Ibuf.get p.round_words)
+
+  let round_max_load p =
+    let curve = Ibuf.to_array p.round_max in
+    if Array.length curve >= p.rounds then curve
+    else Array.init p.rounds (Ibuf.get p.round_max)
+
+  let edges_used p =
+    Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 (edge_words p)
+
+  let top_edges ?(k = 10) p =
+    let loaded = ref [] in
+    Array.iteri (fun e w -> if w > 0 then loaded := (e, w) :: !loaded) (edge_words p);
+    let sorted =
+      List.sort (fun (e1, w1) (e2, w2) -> if w1 <> w2 then compare w2 w1 else compare e1 e2)
+        !loaded
+    in
+    List.filteri (fun i _ -> i < k) sorted
+
+  let histogram ?(buckets = 8) p =
+    if buckets < 1 then invalid_arg "Trace.Profile.histogram: buckets";
+    let words = edge_words p in
+    let max_w = Array.fold_left max 0 words in
+    if max_w = 0 then []
+    else begin
+      let width = max 1 ((max_w + buckets - 1) / buckets) in
+      let nbuckets = ((max_w - 1) / width) + 1 in
+      let counts = Array.make nbuckets 0 in
+      Array.iter
+        (fun w -> if w > 0 then begin
+            let b = (w - 1) / width in
+            counts.(b) <- counts.(b) + 1
+          end)
+        words;
+      List.init nbuckets (fun b -> ((b * width) + 1, (b + 1) * width, counts.(b)))
+    end
+
+  let to_json ?(top_k = 10) p =
+    let pair (a, b) = Json.List [ Json.Int a; Json.Int b ] in
+    let int_array a = Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a)) in
+    let edge_pairs =
+      let acc = ref [] in
+      Array.iteri (fun e w -> if w > 0 then acc := (e, w) :: !acc) (edge_words p);
+      List.rev !acc
+    in
+    Json.Obj
+      [
+        ("rounds", Json.Int p.rounds);
+        ("total_words", Json.Int p.total_words);
+        ("total_messages", Json.Int p.total_messages);
+        ("edges_used", Json.Int (edges_used p));
+        ("edge_words", Json.List (List.map pair edge_pairs));
+        ("top_edges", Json.List (List.map pair (top_edges ~k:top_k p)));
+        ("load_curve", int_array (load_curve p));
+        ("round_max_load", int_array (round_max_load p));
+        ( "histogram",
+          Json.List
+            (List.map
+               (fun (lo, hi, count) ->
+                 Json.Obj
+                   [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
+               (histogram p)) );
+      ]
+end

@@ -1,0 +1,95 @@
+(** Observability for simulator runs: a zero-cost-when-disabled event sink
+    plus ready-made collectors.
+
+    The paper's bounds are statements about {e distributions} — where the
+    [O(δD log n)] congestion concentrates, how the random-delay schedule
+    spreads load over the [O(c + d log n)] rounds — but end-of-run
+    aggregates ({!Simulator.stats}) collapse all of that to four numbers.
+    A {!tracer} receives every fine-grained event of a run: round
+    boundaries (with the live-node count), each message transmission (with
+    its host edge id and word size), node halts, and the per-round
+    bandwidth high-water mark. Passing [?tracer] costs one branch per
+    message when absent; protocols therefore thread it through unchanged.
+
+    Two collectors cover the common uses: {!Recorder} keeps the raw event
+    stream (for JSON export and replay debugging); {!Profile} folds events
+    into per-edge / per-round congestion profiles incrementally, without
+    retaining the stream. Combine them with {!tee}. *)
+
+type event =
+  | Round_start of { round : int; live : int }
+      (** a round begins; [live] counts non-halted nodes entering it *)
+  | Send of { round : int; src : int; dst : int; edge : int; words : int }
+      (** one message crosses host edge [edge] from [src] to [dst] *)
+  | Halt of { round : int; node : int }  (** [node] halts after this round *)
+  | Round_end of { round : int; max_edge_load : int }
+      (** a round ends; [max_edge_load] is the round's bandwidth high-water
+          mark (max words on one edge-direction) *)
+
+type tracer = event -> unit
+
+val tee : tracer list -> tracer
+(** Fan one event stream out to several collectors. *)
+
+val event_to_json : event -> Lcs_util.Json.t
+(** One event as a [{"t": kind, ...}] object — the trace-file schema
+    documented in README.md. *)
+
+(** Retains the full event stream, in order. *)
+module Recorder : sig
+  type t
+
+  val create : unit -> t
+  val tracer : t -> tracer
+  val events : t -> event list
+  val length : t -> int
+
+  val to_json : t -> Lcs_util.Json.t
+  (** The events as a JSON array. *)
+end
+
+(** Incremental per-edge / per-round congestion aggregation: O(edges +
+    rounds) memory however long the trace. *)
+module Profile : sig
+  type t
+
+  val create : ?edges:int -> unit -> t
+  (** [edges] (the host's [Graph.m]) pre-sizes the per-edge accumulator;
+      it grows on demand either way. *)
+
+  val tracer : t -> tracer
+
+  val rounds : t -> int
+  val total_words : t -> int
+  (** Equals the [words] field of the traced run's {!Simulator.stats} —
+      asserted by the test suite. *)
+
+  val total_messages : t -> int
+
+  val edge_words : t -> int array
+  (** Words carried per host edge id (both directions summed). *)
+
+  val edges_used : t -> int
+  (** Edges that carried at least one word. *)
+
+  val load_curve : t -> int array
+  (** Words sent in round [r] at index [r - 1] — the per-round load
+      curve. *)
+
+  val round_max_load : t -> int array
+  (** Per-round bandwidth high-water mark (from [Round_end] events; all
+      zero for sources that do not emit them). *)
+
+  val top_edges : ?k:int -> t -> (int * int) list
+  (** The [k] (default 10) hottest edges as [(edge, words)], heaviest
+      first, ties by edge id. *)
+
+  val histogram : ?buckets:int -> t -> (int * int * int) list
+  (** Distribution of per-edge totals over edges with traffic:
+      [(lo, hi, count)] with inclusive word-count ranges, [buckets]
+      (default 8) equal-width bins. Empty when nothing was sent. *)
+
+  val to_json : ?top_k:int -> t -> Lcs_util.Json.t
+  (** The whole profile — totals, per-edge words, top-[k] edges, load
+      curve, per-round high-water marks, histogram. *)
+end

@@ -10,6 +10,7 @@ module Stats = Lcs_util.Stats
 module Table = Lcs_util.Table
 module Bitset = Lcs_util.Bitset
 module Pqueue = Lcs_util.Pqueue
+module Json = Lcs_util.Json
 
 (* Graphs *)
 module Graph = Lcs_graph.Graph
@@ -29,6 +30,7 @@ module Graph_io = Lcs_graph.Graph_io
 
 (* CONGEST simulator *)
 module Simulator = Lcs_congest.Simulator
+module Trace = Lcs_congest.Trace
 module Sync_bfs = Lcs_congest.Sync_bfs
 module Tree_info = Lcs_congest.Tree_info
 module Broadcast = Lcs_congest.Broadcast

@@ -10,3 +10,12 @@ let print o =
   Core.Table.print o.table;
   List.iter (fun n -> Printf.printf "  note: %s\n" n) o.notes;
   print_newline ()
+
+let to_json o =
+  Core.Json.Obj
+    [
+      ("id", Core.Json.String o.id);
+      ("title", Core.Json.String o.title);
+      ("table", Core.Table.to_json o.table);
+      ("notes", Core.Json.List (List.map (fun n -> Core.Json.String n) o.notes));
+    ]

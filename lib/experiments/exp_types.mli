@@ -10,3 +10,8 @@ type outcome = {
 
 val print : outcome -> unit
 (** Render the outcome (header, table, notes) to stdout. *)
+
+val to_json : outcome -> Core.Json.t
+(** Machine-readable form: [{"id", "title", "table", "notes"}] with the
+    table as {!Core.Table.to_json} renders it — the JSON export always
+    matches the printed ASCII table cell for cell. *)

@@ -9,8 +9,8 @@ type outcome = {
   per_part_completion : int array;
 }
 
-let minimum ?bandwidth rng shortcut ~values =
-  let r = Packet_router.route ?bandwidth rng shortcut ~values in
+let minimum ?bandwidth ?tracer rng shortcut ~values =
+  let r = Packet_router.route ?bandwidth ?tracer rng shortcut ~values in
   {
     minima = r.Packet_router.per_part_minimum;
     rounds = r.Packet_router.rounds;
@@ -18,7 +18,7 @@ let minimum ?bandwidth rng shortcut ~values =
     per_part_completion = r.Packet_router.per_part_completion;
   }
 
-let broadcast ?bandwidth rng shortcut ~leaders =
+let broadcast ?bandwidth ?tracer rng shortcut ~leaders =
   let partition = Shortcut.partition shortcut in
   let n = Graph.n (Shortcut.graph shortcut) in
   if Array.length leaders <> Shortcut.k shortcut then
@@ -32,10 +32,10 @@ let broadcast ?bandwidth rng shortcut ~leaders =
      max-sentinel so the part minimum is exactly the leader's token. *)
   let values = Array.make n (max_int - 1) in
   Array.iter (fun l -> values.(l) <- l) leaders;
-  minimum ?bandwidth rng shortcut ~values
+  minimum ?bandwidth ?tracer rng shortcut ~values
 
-let sum ?bandwidth rng shortcut ~values =
-  let r = Tree_router.sum ?bandwidth rng shortcut ~values in
+let sum ?bandwidth ?tracer rng shortcut ~values =
+  let r = Tree_router.sum ?bandwidth ?tracer rng shortcut ~values in
   {
     minima = r.Tree_router.per_part_total;
     rounds = r.Tree_router.rounds;

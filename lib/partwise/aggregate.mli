@@ -19,6 +19,7 @@ type outcome = {
 
 val minimum :
   ?bandwidth:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
@@ -27,6 +28,7 @@ val minimum :
 
 val broadcast :
   ?bandwidth:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   leaders:int array ->
@@ -38,6 +40,7 @@ val broadcast :
 
 val sum :
   ?bandwidth:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->

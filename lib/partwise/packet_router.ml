@@ -4,6 +4,7 @@ module Shortcut = Lcs_shortcut.Shortcut
 module Quality = Lcs_shortcut.Quality
 module Rng = Lcs_util.Rng
 module Pqueue = Lcs_util.Pqueue
+module Trace = Lcs_congest.Trace
 
 type result = {
   rounds : int;
@@ -14,7 +15,7 @@ type result = {
 }
 
 let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
-    ?(policy = Schedule.Random_delay) rng shortcut ~values =
+    ?(policy = Schedule.Random_delay) ?tracer rng shortcut ~values =
   if bandwidth < 1 then invalid_arg "Packet_router.route: bandwidth";
   let host = Shortcut.graph shortcut in
   let partition = Shortcut.partition shortcut in
@@ -97,6 +98,10 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
     if !round >= max_rounds then
       failwith "Packet_router.route: round limit (disconnected shortcut subgraph?)";
     incr round;
+    (match tracer with
+    | None -> ()
+    | Some t -> t (Trace.Round_start { round = !round; live = !incomplete }));
+    let round_max = ref 0 in
     (* Serve every backlogged edge-direction: up to [bandwidth] messages. *)
     let keys = Hashtbl.fold (fun key () acc -> key :: acc) nonempty [] in
     let arrivals = ref [] in
@@ -111,13 +116,24 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
               let e = key / 2 and dir = key mod 2 in
               let u, v = Graph.edge_endpoints host e in
               let dest = if dir = 0 then v else u in
+              (match tracer with
+              | None -> ()
+              | Some t ->
+                  let src = if dir = 0 then u else v in
+                  t (Trace.Send { round = !round; src; dst = dest; edge = e; words = 1 }));
               arrivals := (part, value, dest, e) :: !arrivals
           | None -> ());
           incr served
         done;
+        (match tracer with
+        | None -> ()
+        | Some _ -> if !served > !round_max then round_max := !served);
         if Pqueue.is_empty q then Hashtbl.remove nonempty key)
       keys;
-    List.iter (fun (part, value, dest, e) -> absorb part value dest ~via:e) !arrivals
+    List.iter (fun (part, value, dest, e) -> absorb part value dest ~via:e) !arrivals;
+    match tracer with
+    | None -> ()
+    | Some t -> t (Trace.Round_end { round = !round; max_edge_load = !round_max })
   done;
   {
     rounds = !round;

@@ -26,6 +26,7 @@ val route :
   ?max_delay:int ->
   ?max_rounds:int ->
   ?policy:Schedule.policy ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
@@ -37,4 +38,11 @@ val route :
     message per edge-direction per round; [max_rounds] (default 1_000_000)
     guards against disconnected shortcut subgraphs. Raises [Failure] if
     some part cannot complete (its subgraph is disconnected — impossible
-    for shortcuts built by this repository). *)
+    for shortcuts built by this repository).
+
+    [tracer] receives the same event stream a {!Lcs_congest.Simulator}
+    run would emit — one [Send] (1 word) per link transmission with the
+    host edge id, round boundaries with the count of incomplete parts as
+    [live], and per-round high-water marks — so the random-delay
+    schedule's actual load spreading is observable with the same
+    {!Lcs_congest.Trace.Profile} tooling. *)

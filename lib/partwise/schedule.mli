@@ -9,7 +9,20 @@
       technique the paper's O(c + d log n) aggregation bound rests on;
     - [Fifo]: no priorities, pure arrival order — the natural baseline;
     - [Static_order]: parts served in index order — an adversarial
-      stand-in where one part can starve behind all lower-indexed ones. *)
+      stand-in where one part can starve behind all lower-indexed ones.
+
+    {b The O(c + d log n) contract.} For a shortcut with congestion [c]
+    and dilation [d], drawing each part's delay uniformly from
+    [0, max_delay) with [max_delay = Θ(c)] makes every edge's expected
+    per-round load O(1 + c/max_delay) = O(1), so with high probability a
+    packet waits O(log n) rounds per hop and the whole part-wise
+    aggregation completes in O(c + d log n) rounds [LMR94]. The routers
+    ([Packet_router], [Tree_router]) realize the delays as static
+    priorities rather than literal waiting: serving queues in ascending
+    delay order is equivalent to each part sitting out its delay, but
+    never leaves an edge idle, so measured completion times are at most
+    the scheduled ones. [Fifo] and [Static_order] deliberately break the
+    argument's load-spreading step; experiment E14 measures the gap. *)
 
 type policy = Random_delay | Fifo | Static_order
 

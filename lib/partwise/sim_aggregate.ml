@@ -21,7 +21,7 @@ type node_state = {
   last_improved : int;  (* as a part member *)
 }
 
-let minimum ?budget rng shortcut ~values =
+let minimum ?budget ?tracer rng shortcut ~values =
   let host = Shortcut.graph shortcut in
   let partition = Shortcut.partition shortcut in
   let k = Shortcut.k shortcut in
@@ -131,7 +131,7 @@ let minimum ?budget rng shortcut ~values =
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run ~max_rounds:(budget + 8) host program in
+  let states, stats = Simulator.run ~max_rounds:(budget + 8) ?tracer host program in
   let reference = Aggregate.reference_minima shortcut ~values in
   Array.iteri
     (fun v st ->

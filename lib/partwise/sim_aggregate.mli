@@ -26,6 +26,7 @@ type result = {
 
 val minimum :
   ?budget:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
@@ -35,4 +36,7 @@ val minimum :
     [budget] defaults to [4·(c + d·log n) + 32] with (c,d) measured from
     the shortcut — generous enough for the schedule bound, and the
     returned [completion_round] shows the real finish time. Raises
-    [Failure] if some part had not converged within the budget. *)
+    [Failure] if some part had not converged within the budget. [tracer]
+    observes the underlying {!Lcs_congest.Simulator} run — its per-edge
+    profile is how E7-style experiments see the congestion {e
+    distribution} rather than just the maximum. *)

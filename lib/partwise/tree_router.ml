@@ -4,6 +4,7 @@ module Shortcut = Lcs_shortcut.Shortcut
 module Quality = Lcs_shortcut.Quality
 module Rng = Lcs_util.Rng
 module Pqueue = Lcs_util.Pqueue
+module Trace = Lcs_congest.Trace
 
 type result = {
   rounds : int;
@@ -23,8 +24,8 @@ type cell = {
   mutable children : (int * int) list;  (* (edge, child vertex) *)
 }
 
-let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) rng shortcut
-    ~values ~combine ~identity =
+let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
+    shortcut ~values ~combine ~identity =
   if bandwidth < 1 then invalid_arg "Tree_router.aggregate: bandwidth";
   let host = Shortcut.graph shortcut in
   let partition = Shortcut.partition shortcut in
@@ -137,6 +138,10 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) rng shortcut
   while !incomplete > 0 do
     if !round >= max_rounds then failwith "Tree_router: round limit";
     incr round;
+    (match tracer with
+    | None -> ()
+    | Some t -> t (Trace.Round_start { round = !round; live = !incomplete }));
+    let round_max = ref 0 in
     let keys = Hashtbl.fold (fun key () acc -> key :: acc) nonempty [] in
     let arrivals = ref [] in
     List.iter
@@ -145,12 +150,22 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) rng shortcut
         let served = ref 0 in
         while !served < bandwidth && not (Pqueue.is_empty q) do
           (match Pqueue.pop_min q with
-          | Some (_prio, msg) ->
+          | Some (_prio, ((_part, _kind, _value, dest) as msg)) ->
               incr messages;
+              (match tracer with
+              | None -> ()
+              | Some t ->
+                  let e = key / 2 and dir = key mod 2 in
+                  let u, v = Graph.edge_endpoints host e in
+                  let src = if dir = 0 then u else v in
+                  t (Trace.Send { round = !round; src; dst = dest; edge = e; words = 1 }));
               arrivals := msg :: !arrivals
           | None -> ());
           incr served
         done;
+        (match tracer with
+        | None -> ()
+        | Some _ -> if !served > !round_max then round_max := !served);
         if Pqueue.is_empty q then Hashtbl.remove nonempty key)
       keys;
     List.iter
@@ -158,12 +173,15 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) rng shortcut
         match kind with
         | Up -> absorb_up part value dest
         | Down -> deliver_down part value dest)
-      !arrivals
+      !arrivals;
+    match tracer with
+    | None -> ()
+    | Some t -> t (Trace.Round_end { round = !round; max_edge_load = !round_max })
   done;
   { rounds = !round; per_part_total; per_part_completion; messages = !messages }
 
-let sum ?bandwidth rng shortcut ~values =
-  aggregate ?bandwidth rng shortcut ~values ~combine:( + ) ~identity:0
+let sum ?bandwidth ?tracer rng shortcut ~values =
+  aggregate ?bandwidth ?tracer rng shortcut ~values ~combine:( + ) ~identity:0
 
 let reference shortcut ~values ~combine ~identity =
   let partition = Shortcut.partition shortcut in

@@ -21,6 +21,7 @@ val aggregate :
   ?bandwidth:int ->
   ?max_delay:int ->
   ?max_rounds:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
@@ -31,10 +32,15 @@ val aggregate :
     part [i] learns [fold combine identity] over the part's member values
     ([values.(v)] for [v ∈ P_i]; helper vertices of [S_i] contribute
     [identity]). [combine] must be associative and commutative.
-    Raises [Failure] if some part's subgraph is disconnected. *)
+    Raises [Failure] if some part's subgraph is disconnected.
+
+    [tracer] receives one [Send] (1 word) per link transmission plus
+    round boundaries and per-round high-water marks, in the same event
+    vocabulary as {!Lcs_congest.Simulator} — see {!Packet_router.route}. *)
 
 val sum :
   ?bandwidth:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->

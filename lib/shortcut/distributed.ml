@@ -82,7 +82,7 @@ type wave_state = {
   queue : int list;  (* words left to stream upward *)
 }
 
-let detection_wave ?(seed = 1) ?max_rounds ~variant ~threshold partition info =
+let detection_wave ?(seed = 1) ?max_rounds ?tracer ~variant ~threshold partition info =
   if threshold < 1 then invalid_arg "Distributed.detection_wave: threshold";
   let host = Partition.graph partition in
   let repetitions = match variant with Randomized { repetitions } -> repetitions | Deterministic -> 0 in
@@ -176,7 +176,7 @@ let detection_wave ?(seed = 1) ?max_rounds ~variant ~threshold partition info =
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run ?max_rounds host program in
+  let states, stats = Simulator.run ?max_rounds ?tracer host program in
   let over = Bitset.create (Graph.m host) in
   Array.iteri
     (fun v st ->
@@ -194,14 +194,14 @@ let detection_wave ?(seed = 1) ?max_rounds ~variant ~threshold partition info =
 (* --- Full pipeline ------------------------------------------------------- *)
 
 let construct ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
-    partition ~root =
+    ?tracer partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
     | Some v -> v
     | None -> Randomized { repetitions = default_repetitions host }
   in
-  let tree, height, bfs_stats = Sync_bfs.run ~max_rounds host ~root in
+  let tree, height, bfs_stats = Sync_bfs.run ~max_rounds ?tracer host ~root in
   let info = Tree_info.of_tree host tree in
   let d = max 1 height in
   let wave_rounds = ref 0 in
@@ -211,8 +211,8 @@ let construct ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1
     incr guesses;
     let threshold = 8 * delta * d in
     let over, stats =
-      detection_wave ~seed:(seed + !guesses) ~max_rounds ~variant ~threshold partition
-        info
+      detection_wave ~seed:(seed + !guesses) ~max_rounds ?tracer ~variant ~threshold
+        partition info
     in
     wave_rounds := !wave_rounds + stats.Simulator.rounds;
     wave_messages := !wave_messages + stats.Simulator.messages;

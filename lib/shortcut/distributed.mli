@@ -46,6 +46,7 @@ val default_repetitions : Lcs_graph.Graph.t -> int
 val detection_wave :
   ?seed:int ->
   ?max_rounds:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   variant:variant ->
   threshold:int ->
   Lcs_graph.Partition.t ->
@@ -54,16 +55,20 @@ val detection_wave :
 (** One bottom-up wave at a fixed congestion threshold; returns the
     overcongested edge set it determined and the measured stats. With
     [Deterministic] the returned set equals the centralized construction's
-    [O] for the same threshold (a property the test suite checks). *)
+    [O] for the same threshold (a property the test suite checks).
+    [tracer] observes the wave's simulator run. *)
 
 val construct :
   ?seed:int ->
   ?variant:variant ->
   ?max_rounds:int ->
   ?initial_delta:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_graph.Partition.t ->
   root:int ->
   outcome
 (** Full pipeline. [variant] defaults to [Randomized] with
     {!default_repetitions}; [seed] (default 1) drives the hash functions;
-    [max_rounds] bounds each simulator run (default 2_000_000). *)
+    [max_rounds] bounds each simulator run (default 2_000_000). [tracer]
+    observes every stage — the BFS and each detection wave feed the same
+    sink, so one profile covers the whole construction. *)

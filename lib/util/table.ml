@@ -56,6 +56,51 @@ let render t =
 
 let print t = print_string (render t); print_newline ()
 
+let to_json t =
+  let row_json cells = Json.List (Array.to_list (Array.map (fun c -> Json.String c) cells)) in
+  let fields =
+    [
+      ("headers", row_json t.headers);
+      ("rows", Json.List (List.rev_map row_json t.rows));
+    ]
+  in
+  let fields =
+    match t.title with
+    | Some title -> ("title", Json.String title) :: fields
+    | None -> fields
+  in
+  Json.Obj fields
+
+let csv_cell s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (csv_cell cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  List.iter emit_row (List.rev t.rows);
+  Buffer.contents buf
+
 let fmt_float x =
   if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%d" (int_of_float x)

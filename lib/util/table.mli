@@ -23,6 +23,16 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
 
+val to_json : t -> Json.t
+(** Structured form: [{"title": ..., "headers": [...], "rows": [[...]]}]
+    (the title field is omitted for untitled tables). Cells stay strings —
+    exactly what {!render} would print, so the JSON export of a table
+    always matches the ASCII rendering. *)
+
+val to_csv : t -> string
+(** RFC-4180 CSV: a header line followed by one line per row; cells
+    containing commas, quotes or newlines are quoted. *)
+
 val fmt_float : float -> string
 (** Compact float formatting used across experiment tables: integers print
     without a fractional part, otherwise two decimals. *)

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
+      ("trace", Test_trace.suite);
       ("shortcut", Test_shortcut.suite);
       ("partwise", Test_partwise.suite);
       ("algos", Test_algos.suite);

@@ -1,0 +1,278 @@
+(* Tests for the observability layer: tracing must not perturb runs, the
+   congestion profiles must reconcile with the simulator's aggregates, and
+   the JSON exports must round-trip. *)
+
+open Core
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let stats_equal a b =
+  a.Simulator.rounds = b.Simulator.rounds
+  && a.Simulator.messages = b.Simulator.messages
+  && a.Simulator.words = b.Simulator.words
+  && a.Simulator.max_edge_load = b.Simulator.max_edge_load
+
+let grid_shortcut () =
+  let g = Generators.grid ~rows:6 ~cols:6 in
+  let partition = Partition.grid_rows g ~rows:6 ~cols:6 in
+  let tree = Bfs.tree g ~root:0 in
+  (g, (Boost.full partition ~tree).Boost.shortcut)
+
+(* --- tracing does not perturb the run ----------------------------------- *)
+
+let tracing_is_transparent_bfs () =
+  let g = Generators.grid ~rows:7 ~cols:7 in
+  let tree_plain, height_plain, stats_plain = Sync_bfs.run g ~root:0 in
+  let recorder = Trace.Recorder.create () in
+  let tree_traced, height_traced, stats_traced =
+    Sync_bfs.run ~tracer:(Trace.Recorder.tracer recorder) g ~root:0
+  in
+  check Alcotest.bool "same stats" true (stats_equal stats_plain stats_traced);
+  check Alcotest.int "same height" height_plain height_traced;
+  check Alcotest.bool "same parents" true
+    (Array.for_all
+       (fun v -> Rooted_tree.parent tree_plain v = Rooted_tree.parent tree_traced v)
+       (Graph.vertices g));
+  check Alcotest.bool "events recorded" true (Trace.Recorder.length recorder > 0)
+
+let tracing_is_transparent_leader () =
+  let g = Generators.grid ~rows:5 ~cols:5 in
+  let leader_plain, stats_plain = Leader_election.run ~diameter_bound:8 g in
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let leader_traced, stats_traced =
+    Leader_election.run ~diameter_bound:8 ~tracer:(Trace.Profile.tracer profile) g
+  in
+  check Alcotest.int "same leader" leader_plain leader_traced;
+  check Alcotest.bool "same stats" true (stats_equal stats_plain stats_traced)
+
+(* --- profiles reconcile with the aggregates ------------------------------ *)
+
+let profile_totals_match_stats () =
+  let g, sc = grid_shortcut () in
+  let values = Array.init (Graph.n g) (fun v -> (v * 131) mod 997) in
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let out =
+    Sim_aggregate.minimum ~tracer:(Trace.Profile.tracer profile) (Rng.create 3) sc
+      ~values
+  in
+  let stats = out.Sim_aggregate.stats in
+  check Alcotest.int "edge totals sum to stats.words" stats.Simulator.words
+    (Array.fold_left ( + ) 0 (Trace.Profile.edge_words profile));
+  check Alcotest.int "total_words" stats.Simulator.words
+    (Trace.Profile.total_words profile);
+  check Alcotest.int "total_messages" stats.Simulator.messages
+    (Trace.Profile.total_messages profile);
+  check Alcotest.int "load curve sums to stats.words" stats.Simulator.words
+    (Array.fold_left ( + ) 0 (Trace.Profile.load_curve profile));
+  check Alcotest.int "rounds" stats.Simulator.rounds (Trace.Profile.rounds profile);
+  let round_max = Trace.Profile.round_max_load profile in
+  check Alcotest.int "high-water mark" stats.Simulator.max_edge_load
+    (Array.fold_left max 0 round_max);
+  (* Histogram covers exactly the loaded edges; top list is sorted. *)
+  let hist_count =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Trace.Profile.histogram profile)
+  in
+  check Alcotest.int "histogram covers loaded edges"
+    (Trace.Profile.edges_used profile)
+    hist_count;
+  let top = Trace.Profile.top_edges ~k:5 profile in
+  check Alcotest.bool "top edges sorted" true
+    (let rec sorted = function
+       | (_, w1) :: ((_, w2) :: _ as rest) -> w1 >= w2 && sorted rest
+       | _ -> true
+     in
+     sorted top)
+
+let run_profiled_extends_stats () =
+  let g = Generators.grid ~rows:6 ~cols:6 in
+  let tree = Bfs.tree g ~root:0 in
+  let info = Tree_info.of_tree g tree in
+  let values = Array.init (Graph.n g) (fun v -> v) in
+  let program_total, plain = Convergecast.run g info ~values ~combine:( + ) in
+  (* Same protocol through run_profiled: identical stats plus a profile. *)
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let total, stats =
+    Convergecast.run ~tracer:(Trace.Profile.tracer profile) g info ~values
+      ~combine:( + )
+  in
+  check Alcotest.int "same total" program_total total;
+  check Alcotest.bool "same stats" true (stats_equal plain stats);
+  check Alcotest.int "profile matches words" stats.Simulator.words
+    (Trace.Profile.total_words profile)
+
+let run_profiled_direct () =
+  (* A one-shot flood on a path: run_profiled returns the same states as
+     run plus a reconciled profile. *)
+  let g = Generators.path 6 in
+  let program =
+    {
+      Simulator.init = (fun _ctx -> false);
+      on_round =
+        (fun ctx sent ~inbox ->
+          ignore inbox;
+          if ctx.Simulator.node = 0 && not sent then (true, [ (0, ()) ]) else (true, []))
+      ;
+      is_halted = (fun sent -> sent);
+      msg_words = (fun () -> 1);
+    }
+  in
+  let _states, extended = Simulator.run_profiled g program in
+  check Alcotest.int "base words" 1 extended.Simulator.base.Simulator.words;
+  check Alcotest.int "profile words"
+    extended.Simulator.base.Simulator.words
+    (Trace.Profile.total_words extended.Simulator.profile)
+
+let router_tracing_reconciles () =
+  let g, sc = grid_shortcut () in
+  let values = Array.init (Graph.n g) (fun v -> (v * 37) mod 251) in
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let plain = Packet_router.route (Rng.create 11) sc ~values in
+  let traced =
+    Packet_router.route ~tracer:(Trace.Profile.tracer profile) (Rng.create 11) sc
+      ~values
+  in
+  check Alcotest.int "same rounds" plain.Packet_router.rounds
+    traced.Packet_router.rounds;
+  check Alcotest.int "same messages" plain.Packet_router.messages
+    traced.Packet_router.messages;
+  check Alcotest.int "profile counts every transmission"
+    traced.Packet_router.messages
+    (Trace.Profile.total_messages profile);
+  check Alcotest.int "profile rounds" traced.Packet_router.rounds
+    (Trace.Profile.rounds profile);
+  (* Tree router too: every Up/Down transmission lands in the profile. *)
+  let tprofile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let tr = Tree_router.sum ~tracer:(Trace.Profile.tracer tprofile) (Rng.create 12) sc ~values in
+  check Alcotest.int "tree router transmissions" tr.Tree_router.messages
+    (Trace.Profile.total_messages tprofile)
+
+let recorder_stream_well_formed () =
+  let g = Generators.grid ~rows:5 ~cols:5 in
+  let recorder = Trace.Recorder.create () in
+  let _tree, _height, stats =
+    Sync_bfs.run ~tracer:(Trace.Recorder.tracer recorder) g ~root:0
+  in
+  let events = Trace.Recorder.events recorder in
+  (* Rounds open and close in order, and sends only inside their round. *)
+  let current = ref 0 in
+  let open_ = ref false in
+  List.iter
+    (fun event ->
+      match event with
+      | Trace.Round_start { round; live } ->
+          check Alcotest.bool "rounds increase" true (round = !current + 1);
+          check Alcotest.bool "live positive" true (live > 0);
+          current := round;
+          open_ := true
+      | Trace.Send { round; words; _ } ->
+          check Alcotest.bool "send inside round" true (!open_ && round = !current);
+          check Alcotest.bool "words positive" true (words > 0)
+      | Trace.Halt { round; _ } ->
+          check Alcotest.bool "halt inside round" true (!open_ && round = !current)
+      | Trace.Round_end { round; max_edge_load } ->
+          check Alcotest.bool "end closes round" true (!open_ && round = !current);
+          check Alcotest.bool "round max within bandwidth" true
+            (max_edge_load >= 0 && max_edge_load <= stats.Simulator.max_edge_load);
+          open_ := false)
+    events;
+  check Alcotest.int "all rounds traced" stats.Simulator.rounds !current
+
+(* --- JSON export round-trips --------------------------------------------- *)
+
+let json_roundtrip value =
+  match Json.of_string (Json.to_string value) with
+  | Ok parsed -> parsed = value
+  | Error _ -> false
+
+let json_value_roundtrip () =
+  let tricky =
+    Json.Obj
+      [
+        ("empty", Json.List []);
+        ("nested", Json.List [ Json.Obj [ ("k", Json.Null) ]; Json.Bool false ]);
+        ("negative", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("escapes", Json.String "line\nbreak \"quoted\" back\\slash\ttab");
+      ]
+  in
+  check Alcotest.bool "pretty round-trips" true (json_roundtrip tricky);
+  check Alcotest.bool "minified round-trips" true
+    (match Json.of_string (Json.to_string ~minify:true tricky) with
+    | Ok parsed -> parsed = tricky
+    | Error _ -> false);
+  check Alcotest.bool "garbage rejected" true
+    (match Json.of_string "{\"a\": }" with Error _ -> true | Ok _ -> false)
+
+let table_json_and_csv () =
+  let t = Table.create ~title:"t" [ ("name", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "plain"; "1" ];
+  Table.add_row t [ "needs,quoting"; "2" ];
+  let json = Table.to_json t in
+  check Alcotest.bool "table json round-trips" true (json_roundtrip json);
+  (match Json.member "rows" json with
+  | Some (Json.List rows) -> check Alcotest.int "row count" 2 (List.length rows)
+  | _ -> Alcotest.fail "rows missing");
+  let csv = Table.to_csv t in
+  check Alcotest.bool "csv quotes commas" true
+    (let lines = String.split_on_char '\n' csv in
+     List.exists (fun l -> l = "\"needs,quoting\",2") lines)
+
+let trace_json_roundtrip () =
+  let g, sc = grid_shortcut () in
+  let values = Array.init (Graph.n g) (fun v -> v) in
+  let recorder = Trace.Recorder.create () in
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let tracer =
+    Trace.tee [ Trace.Recorder.tracer recorder; Trace.Profile.tracer profile ]
+  in
+  let out = Sim_aggregate.minimum ~tracer (Rng.create 5) sc ~values in
+  check Alcotest.bool "events json round-trips" true
+    (json_roundtrip (Trace.Recorder.to_json recorder));
+  let pjson = Trace.Profile.to_json profile in
+  check Alcotest.bool "profile json round-trips" true (json_roundtrip pjson);
+  (* The exported totals agree with the run's stats. *)
+  (match Json.member "total_words" pjson with
+  | Some (Json.Int w) ->
+      check Alcotest.int "exported words" out.Sim_aggregate.stats.Simulator.words w
+  | _ -> Alcotest.fail "total_words missing");
+  match Json.member "edge_words" pjson with
+  | Some (Json.List pairs) ->
+      let total =
+        List.fold_left
+          (fun acc pair ->
+            match pair with
+            | Json.List [ Json.Int _; Json.Int w ] -> acc + w
+            | _ -> Alcotest.fail "bad edge_words entry")
+          0 pairs
+      in
+      check Alcotest.int "exported per-edge totals sum to words"
+        out.Sim_aggregate.stats.Simulator.words total
+  | _ -> Alcotest.fail "edge_words missing"
+
+let outcome_json () =
+  let table = Table.create [ ("x", Table.Left) ] in
+  Table.add_row table [ "1" ];
+  let outcome =
+    { Lcs_experiments.Exp_types.id = "E0"; title = "synthetic"; table; notes = [ "n" ] }
+  in
+  let json = Lcs_experiments.Exp_types.to_json outcome in
+  check Alcotest.bool "outcome json round-trips" true (json_roundtrip json);
+  match (Json.member "id" json, Json.member "notes" json) with
+  | Some (Json.String "E0"), Some (Json.List [ Json.String "n" ]) -> ()
+  | _ -> Alcotest.fail "outcome fields wrong"
+
+let suite =
+  [
+    case "tracing transparent: sync bfs" `Quick tracing_is_transparent_bfs;
+    case "tracing transparent: leader election" `Quick tracing_is_transparent_leader;
+    case "profile reconciles with stats" `Quick profile_totals_match_stats;
+    case "profiled convergecast" `Quick run_profiled_extends_stats;
+    case "run_profiled direct" `Quick run_profiled_direct;
+    case "router tracing reconciles" `Quick router_tracing_reconciles;
+    case "recorder stream well-formed" `Quick recorder_stream_well_formed;
+    case "json value round-trip" `Quick json_value_roundtrip;
+    case "table json and csv" `Quick table_json_and_csv;
+    case "trace json round-trip" `Quick trace_json_roundtrip;
+    case "experiment outcome json" `Quick outcome_json;
+  ]
