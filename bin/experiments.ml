@@ -7,7 +7,8 @@
      experiments --seed 7      change the master seed
      experiments --json        machine-readable output (array without --id)
      experiments --csv         the table alone, as CSV (requires --id)
-     experiments --out F       write to F instead of stdout *)
+     experiments --out F       write to F instead of stdout
+     experiments --faults P    fault matrix under the plan in file P *)
 
 open Cmdliner
 
@@ -20,43 +21,61 @@ let output path contents =
       close_out oc;
       Printf.printf "wrote %s (%d bytes)\n" p (String.length contents)
 
-let run id_opt list_only seed json csv out =
+let emit_one ~json ~csv ~out outcome =
+  if csv then output out (Core.Table.to_csv outcome.Lcs_experiments.Exp_types.table)
+  else if json then
+    output out (Core.Json.to_string (Lcs_experiments.Exp_types.to_json outcome) ^ "\n")
+  else Lcs_experiments.Exp_types.print outcome
+
+let run id_opt list_only seed json csv out faults =
   if list_only then begin
     List.iter (fun (id, _f) -> print_endline id) Lcs_experiments.Registry.all;
     0
   end
-  else if csv && id_opt = None then begin
+  else if csv && id_opt = None && faults = None then begin
     Printf.eprintf "--csv requires --id (one table per file)\n";
     1
   end
   else
-    match id_opt with
-    | None ->
-        if json then begin
-          let outcomes =
-            List.map (fun (_id, f) -> f ?seed:(Some seed) ()) Lcs_experiments.Registry.all
-          in
-          let doc =
-            Core.Json.List (List.map Lcs_experiments.Exp_types.to_json outcomes)
-          in
-          output out (Core.Json.to_string doc ^ "\n")
-        end
-        else Lcs_experiments.Registry.run_all ~seed ();
-        0
-    | Some id -> (
-        match Lcs_experiments.Registry.find id with
-        | None ->
-            Printf.eprintf "unknown experiment id %S (try --list)\n" id;
+    match faults with
+    | Some path -> (
+        (* A user-supplied plan: run the fault matrix under it, nothing else. *)
+        match Core.Fault.load_plan path with
+        | Error msg ->
+            Printf.eprintf "bad fault plan %s: %s\n" path msg;
             1
-        | Some f ->
-            let outcome = f ~seed () in
-            if csv then
-              output out (Core.Table.to_csv outcome.Lcs_experiments.Exp_types.table)
-            else if json then
-              output out
-                (Core.Json.to_string (Lcs_experiments.Exp_types.to_json outcome) ^ "\n")
-            else Lcs_experiments.Exp_types.print outcome;
+        | Ok plan ->
+            let outcome =
+              Lcs_experiments.Exp_faults.matrix ~seed
+                ~plan_name:(Filename.remove_extension (Filename.basename path))
+                ~plan ()
+            in
+            emit_one ~json ~csv ~out outcome;
             0)
+    | None -> (
+        match id_opt with
+        | None ->
+            if json then begin
+              let outcomes =
+                List.map
+                  (fun (_id, f) -> f ?seed:(Some seed) ())
+                  Lcs_experiments.Registry.all
+              in
+              let doc =
+                Core.Json.List (List.map Lcs_experiments.Exp_types.to_json outcomes)
+              in
+              output out (Core.Json.to_string doc ^ "\n")
+            end
+            else Lcs_experiments.Registry.run_all ~seed ();
+            0
+        | Some id -> (
+            match Lcs_experiments.Registry.find id with
+            | None ->
+                Printf.eprintf "unknown experiment id %S (try --list)\n" id;
+                1
+            | Some f ->
+                emit_one ~json ~csv ~out (f ~seed ());
+                0))
 
 let id_arg =
   let doc = "Run only the experiment with this id (e.g. E2)." in
@@ -85,10 +104,19 @@ let out_arg =
   let doc = "Write the output to this file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
 
+let faults_arg =
+  let doc =
+    "Run the fault-injection matrix under the lcs-fault-plan/1 JSON plan in \
+     $(docv) (instead of the registry); composes with --json/--csv/--out."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
 let cmd =
   let doc = "regenerate the paper-reproduction experiment tables" in
   let info = Cmd.info "experiments" ~doc in
   Cmd.v info
-    Term.(const run $ id_arg $ list_arg $ seed_arg $ json_arg $ csv_arg $ out_arg)
+    Term.(
+      const run $ id_arg $ list_arg $ seed_arg $ json_arg $ csv_arg $ out_arg
+      $ faults_arg)
 
 let () = exit (Cmd.eval' cmd)

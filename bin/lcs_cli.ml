@@ -149,13 +149,116 @@ let shortcut_cmd =
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run family parts seed trace =
+  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace =
+    (* Fault-injection mode: the enforced simulator run (the same protocol
+       --trace exercises) under a compiled plan, classified and validated
+       by Sim_aggregate.minimum_outcome instead of asserted correct. *)
+    let plan =
+      match Fault.load_plan fpath with
+      | Ok plan -> plan
+      | Error msg ->
+          Printf.eprintf "lcs: bad fault plan %s: %s\n" fpath msg;
+          exit 1
+    in
+    let injector = Fault.compile ?seed:fault_seed plan in
+    let recorder = Trace.Recorder.create () in
+    let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+    let tracer =
+      if trace = None then None
+      else
+        Some (Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ])
+    in
+    let o =
+      Sim_aggregate.minimum_outcome ?tracer ~faults:injector
+        (Rng.create (seed + 7)) sc ~values
+    in
+    let r = Outcome.value o in
+    let stats = r.Sim_aggregate.ostats in
+    Printf.printf "fault plan: %s (injector seed %d)\n" fpath
+      (match fault_seed with Some s -> s | None -> plan.Fault.seed);
+    (match o with
+    | Outcome.Complete _ ->
+        Printf.printf
+          "part-wise min aggregation under faults: COMPLETE — every part \
+           agrees on its minimum\n"
+    | Outcome.Degraded (_, d) ->
+        Printf.printf
+          "part-wise min aggregation under faults: DEGRADED — crashed=%d \
+           dead_links=%d diverged_parts=%d affected_nodes=%d%s\n"
+          (List.length d.Outcome.crashed)
+          (List.length d.Outcome.unresponsive)
+          (List.length r.Sim_aggregate.diverged)
+          (List.length d.Outcome.affected)
+          (if d.Outcome.out_of_rounds then " (round budget exhausted)" else ""));
+    Printf.printf "  %d rounds, %d messages, %d retransmissions\n"
+      stats.Simulator.rounds stats.Simulator.messages
+      r.Sim_aggregate.retransmissions;
+    let counts = Fault.counts injector in
+    Printf.printf
+      "  injected: drops=%d link_down=%d to_crashed=%d duplicates=%d \
+       delays=%d crashes=%d\n"
+      counts.Fault.drops counts.Fault.link_down_drops counts.Fault.to_crashed
+      counts.Fault.duplicates counts.Fault.delays counts.Fault.crashes;
+    match trace with
+    | None -> 0
+    | Some path ->
+        let doc =
+          Json.Obj
+            [
+              ("command", Json.String "pa");
+              ("protocol", Json.String "sim_aggregate.minimum_outcome");
+              ("seed", Json.Int seed);
+              ("n", Json.Int (Graph.n g));
+              ("m", Json.Int (Graph.m g));
+              ("parts", Json.Int (Shortcut.k sc));
+              ( "outcome",
+                Json.String
+                  (match o with
+                  | Outcome.Complete _ -> "complete"
+                  | Outcome.Degraded _ -> "degraded") );
+              ( "degradation",
+                match o with
+                | Outcome.Complete _ -> Json.Null
+                | Outcome.Degraded (_, d) -> Outcome.degradation_to_json d );
+              ("fault_plan", Json.String fpath);
+              ("fault_counts", Fault.counts_to_json counts);
+              ( "stats",
+                Json.Obj
+                  [
+                    ("rounds", Json.Int stats.Simulator.rounds);
+                    ("messages", Json.Int stats.Simulator.messages);
+                    ("words", Json.Int stats.Simulator.words);
+                    ("max_edge_load", Json.Int stats.Simulator.max_edge_load);
+                  ] );
+              ("completion_round", Json.Int r.Sim_aggregate.completion_round);
+              ("retransmissions", Json.Int r.Sim_aggregate.retransmissions);
+              ("profile", Trace.Profile.to_json profile);
+              ("events", Trace.Recorder.to_json recorder);
+            ]
+        in
+        (match open_out path with
+        | oc ->
+            output_string oc (Json.to_string doc);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "trace: wrote %s (%d events, %d fault events)\n" path
+              (Trace.Recorder.length recorder)
+              (Trace.Profile.fault_events profile)
+        | exception Sys_error msg ->
+            Printf.eprintf "lcs: cannot write trace: %s\n" msg;
+            exit 1);
+        0
+  in
+  let run family parts seed trace faults fault_seed =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
     let sc = (Boost.full partition ~tree).Boost.shortcut in
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
+    match faults with
+    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace
+    | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
     Printf.printf "part-wise min aggregation: %d rounds, %d messages, correct=%b\n"
@@ -222,9 +325,25 @@ let pa_cmd =
                    on and write the JSON run report (stats, per-edge congestion \
                    profile, event stream) to $(docv)")
   in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"PLAN"
+             ~doc:"inject faults from the lcs-fault-plan/1 JSON file $(docv): \
+                   the aggregation runs on the enforced simulator under the \
+                   compiled plan and reports a validated complete/degraded \
+                   outcome plus injected-fault counts; composes with --trace \
+                   (fault events appear in the stream)")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"override the fault plan's seed (same plan + same seed = \
+                   the identical fault sequence)")
+  in
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
-    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg)
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ faults_arg
+          $ fault_seed_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 

@@ -13,3 +13,43 @@ val run :
   int * Simulator.stats
 (** [run g info ~values ~combine] returns the combined value at the root
     and the measured stats. [tracer] is forwarded to {!Simulator.run}. *)
+
+(** {1 Fault-tolerant entry point} *)
+
+type report = {
+  total : int;  (** the root's accumulator *)
+  included : int list;
+      (** nodes whose values provably reached the root, ascending (the
+          root is always included) *)
+  excluded : int list;  (** the complement, ascending *)
+  validated : bool;
+      (** [total] equals the sequential [combine] over [included]'s
+          values — the post-hoc correctness check; requires [combine]
+          associative and commutative, as {!run} already does *)
+  rstats : Simulator.stats;
+  retransmissions : int;
+}
+
+val run_outcome :
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  ?reliable:bool ->
+  ?config:Reliable.config ->
+  Lcs_graph.Graph.t ->
+  Tree_info.t ->
+  values:int array ->
+  combine:(int -> int -> int) ->
+  report Outcome.t
+(** Convergecast under injected faults. The outcome-mode protocol differs
+    from {!run} in one respect: parents periodically probe children that
+    have not reported, so the {!Reliable} transport (on by default) can
+    detect a crashed child — ARQ dead-link detection fires only on the
+    sender side, and plain convergecast never sends downward. When a
+    child's channel dies the parent stops waiting and forwards the
+    partial combine of the subtrees that did report. [Complete]
+    guarantees [total] is the full combine; [Degraded] names exactly the
+    [excluded] nodes and still validates [total] against a sequential
+    recomputation over [included] — a failed validation marks every node
+    affected rather than returning a silently wrong aggregate.
+    [max_rounds] defaults as in {!Broadcast.run_outcome}. *)

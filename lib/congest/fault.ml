@@ -1,0 +1,332 @@
+module Json = Lcs_util.Json
+module Rng = Lcs_util.Rng
+
+let schema = "lcs-fault-plan/1"
+
+type edge_faults = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : int;
+  down : (int * int) list;
+}
+
+let reliable_edge = { drop = 0.; duplicate = 0.; reorder = 0.; delay = 0; down = [] }
+
+type crash = { node : int; round : int }
+
+type plan = {
+  seed : int;
+  default : edge_faults;
+  edges : (int * edge_faults) list;
+  crashes : crash list;
+}
+
+let empty = { seed = 1; default = reliable_edge; edges = []; crashes = [] }
+
+let validate_edge_faults name f =
+  let prob label p =
+    if p < 0. || p > 1. then
+      Error (Printf.sprintf "%s: %s must be in [0,1], got %g" name label p)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "drop" f.drop in
+  let* () = prob "duplicate" f.duplicate in
+  let* () = prob "reorder" f.reorder in
+  let* () =
+    if f.delay < 0 then Error (Printf.sprintf "%s: delay must be >= 0" name) else Ok ()
+  in
+  let rec intervals = function
+    | [] -> Ok ()
+    | (lo, hi) :: rest ->
+        if lo < 1 || hi < lo then
+          Error (Printf.sprintf "%s: bad down interval [%d,%d]" name lo hi)
+        else intervals rest
+  in
+  intervals f.down
+
+let validate plan =
+  let ( let* ) = Result.bind in
+  let* () = validate_edge_faults "default" plan.default in
+  let rec edges = function
+    | [] -> Ok ()
+    | (e, f) :: rest ->
+        if e < 0 then Error (Printf.sprintf "edges[%d]: negative edge id" e)
+        else
+          let* () = validate_edge_faults (Printf.sprintf "edge %d" e) f in
+          edges rest
+  in
+  let* () = edges plan.edges in
+  let rec crashes = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if c.node < 0 then Error "crashes: negative node id"
+        else if c.round < 1 then
+          Error (Printf.sprintf "crashes: node %d must crash at round >= 1" c.node)
+        else crashes rest
+  in
+  let* () = crashes plan.crashes in
+  Ok plan
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let edge_faults_to_json f =
+  let fields = ref [] in
+  if f.down <> [] then
+    fields :=
+      ( "down",
+        Json.List
+          (List.map (fun (lo, hi) -> Json.List [ Json.Int lo; Json.Int hi ]) f.down) )
+      :: !fields;
+  if f.delay <> 0 then fields := ("delay", Json.Int f.delay) :: !fields;
+  if f.reorder <> 0. then fields := ("reorder", Json.Float f.reorder) :: !fields;
+  if f.duplicate <> 0. then fields := ("duplicate", Json.Float f.duplicate) :: !fields;
+  if f.drop <> 0. then fields := ("drop", Json.Float f.drop) :: !fields;
+  Json.Obj !fields
+
+let plan_to_json p =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("seed", Json.Int p.seed);
+      ("default", edge_faults_to_json p.default);
+      ( "edges",
+        Json.List
+          (List.map
+             (fun (e, f) ->
+               match edge_faults_to_json f with
+               | Json.Obj fields -> Json.Obj (("edge", Json.Int e) :: fields)
+               | _ -> assert false)
+             p.edges) );
+      ( "crashes",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj [ ("node", Json.Int c.node); ("round", Json.Int c.round) ])
+             p.crashes) );
+    ]
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float x -> Some x
+  | _ -> None
+
+let edge_faults_of_json ?(base = reliable_edge) json =
+  let ( let* ) = Result.bind in
+  let prob key fallback =
+    match Json.member key json with
+    | None -> Ok fallback
+    | Some v -> (
+        match number v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "%S must be a number" key))
+  in
+  let* drop = prob "drop" base.drop in
+  let* duplicate = prob "duplicate" base.duplicate in
+  let* reorder = prob "reorder" base.reorder in
+  let* delay =
+    match Json.member "delay" json with
+    | None -> Ok base.delay
+    | Some (Json.Int d) -> Ok d
+    | Some _ -> Error "\"delay\" must be an integer"
+  in
+  let* down =
+    match Json.member "down" json with
+    | None -> Ok base.down
+    | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.List [ Json.Int lo; Json.Int hi ] :: rest -> go ((lo, hi) :: acc) rest
+          | _ -> Error "\"down\" entries must be [lo, hi] integer pairs"
+        in
+        go [] items
+    | Some _ -> Error "\"down\" must be a list of [lo, hi] pairs"
+  in
+  Ok { drop; duplicate; reorder; delay; down }
+
+let plan_of_json json =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.String s) when s = schema -> Ok ()
+    | Some (Json.String s) ->
+        Error (Printf.sprintf "unsupported fault-plan schema %S (want %S)" s schema)
+    | _ -> Error (Printf.sprintf "missing \"schema\" field (want %S)" schema)
+  in
+  let* seed =
+    match Json.member "seed" json with
+    | None -> Ok 1
+    | Some (Json.Int s) -> Ok s
+    | Some _ -> Error "\"seed\" must be an integer"
+  in
+  let* default =
+    match Json.member "default" json with
+    | None -> Ok reliable_edge
+    | Some obj -> edge_faults_of_json obj
+  in
+  let* edges =
+    match Json.member "edges" json with
+    | None -> Ok []
+    | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match Json.member "edge" item with
+              | Some (Json.Int e) ->
+                  let* f = edge_faults_of_json ~base:default item in
+                  go ((e, f) :: acc) rest
+              | _ -> Error "every edges entry needs an integer \"edge\" field")
+        in
+        go [] items
+    | Some _ -> Error "\"edges\" must be a list"
+  in
+  let* crashes =
+    match Json.member "crashes" json with
+    | None -> Ok []
+    | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match (Json.member "node" item, Json.member "round" item) with
+              | Some (Json.Int node), Some (Json.Int round) ->
+                  go ({ node; round } :: acc) rest
+              | _ -> Error "crash entry needs integer \"node\" and \"round\" fields")
+        in
+        go [] items
+    | Some _ -> Error "\"crashes\" must be a list"
+  in
+  validate { seed; default; edges; crashes }
+
+let plan_of_string s =
+  match Json.of_string s with
+  | Error e -> Error (Printf.sprintf "fault plan is not valid JSON: %s" e)
+  | Ok json -> plan_of_json json
+
+let load_plan path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      plan_of_string contents
+
+(* --- Injector ------------------------------------------------------------ *)
+
+type counts = {
+  drops : int;
+  link_down_drops : int;
+  to_crashed : int;
+  duplicates : int;
+  delays : int;
+  crashes : int;
+}
+
+let no_faults_observed c =
+  c.drops = 0 && c.link_down_drops = 0 && c.to_crashed = 0 && c.duplicates = 0
+  && c.delays = 0 && c.crashes = 0
+
+let counts_to_json c =
+  Json.Obj
+    [
+      ("drops", Json.Int c.drops);
+      ("link_down_drops", Json.Int c.link_down_drops);
+      ("to_crashed", Json.Int c.to_crashed);
+      ("duplicates", Json.Int c.duplicates);
+      ("delays", Json.Int c.delays);
+      ("crashes", Json.Int c.crashes);
+    ]
+
+type t = {
+  plan : plan;
+  rng : Rng.t;
+  per_edge : (int, edge_faults) Hashtbl.t;
+  crash_rounds : (int, int list) Hashtbl.t;  (* round -> nodes *)
+  mutable crashed_nodes : int list;  (* fired, most recent first *)
+  mutable drops : int;
+  mutable link_down_drops : int;
+  mutable to_crashed : int;
+  mutable duplicates : int;
+  mutable delays : int;
+}
+
+let compile ?seed plan =
+  let seed = match seed with Some s -> s | None -> plan.seed in
+  let per_edge = Hashtbl.create (List.length plan.edges) in
+  List.iter (fun (e, f) -> Hashtbl.replace per_edge e f) plan.edges;
+  let crash_rounds = Hashtbl.create (List.length plan.crashes) in
+  List.iter
+    (fun c ->
+      let existing =
+        match Hashtbl.find_opt crash_rounds c.round with Some l -> l | None -> []
+      in
+      Hashtbl.replace crash_rounds c.round (existing @ [ c.node ]))
+    plan.crashes;
+  {
+    plan;
+    rng = Rng.create seed;
+    per_edge;
+    crash_rounds;
+    crashed_nodes = [];
+    drops = 0;
+    link_down_drops = 0;
+    to_crashed = 0;
+    duplicates = 0;
+    delays = 0;
+  }
+
+let plan t = t.plan
+
+let edge_profile t edge =
+  match Hashtbl.find_opt t.per_edge edge with
+  | Some f -> f
+  | None -> t.plan.default
+
+type loss = Random_loss | Link_is_down
+
+type verdict =
+  | Deliver of int list  (** delivery delays in extra rounds; head is the original copy *)
+  | Lose of loss
+
+let transmission t ~round ~edge =
+  let f = edge_profile t edge in
+  if List.exists (fun (lo, hi) -> round >= lo && round <= hi) f.down then begin
+    t.link_down_drops <- t.link_down_drops + 1;
+    Lose Link_is_down
+  end
+  else if f.drop > 0. && Rng.bernoulli t.rng f.drop then begin
+    t.drops <- t.drops + 1;
+    Lose Random_loss
+  end
+  else begin
+    let base =
+      f.delay + if f.reorder > 0. && Rng.bernoulli t.rng f.reorder then 1 else 0
+    in
+    if base > 0 then t.delays <- t.delays + 1;
+    if f.duplicate > 0. && Rng.bernoulli t.rng f.duplicate then begin
+      t.duplicates <- t.duplicates + 1;
+      Deliver [ base; base + 1 ]
+    end
+    else Deliver [ base ]
+  end
+
+let crashes_at t ~round =
+  match Hashtbl.find_opt t.crash_rounds round with
+  | None -> []
+  | Some nodes ->
+      t.crashed_nodes <- List.rev_append nodes t.crashed_nodes;
+      nodes
+
+let note_to_crashed t = t.to_crashed <- t.to_crashed + 1
+let crashed_nodes t = List.sort_uniq compare t.crashed_nodes
+
+let counts t =
+  {
+    drops = t.drops;
+    link_down_drops = t.link_down_drops;
+    to_crashed = t.to_crashed;
+    duplicates = t.duplicates;
+    delays = t.delays;
+    crashes = List.length (crashed_nodes t);
+  }

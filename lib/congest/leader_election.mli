@@ -16,3 +16,25 @@ val run :
     agrees on — asserted) and the stats. [diameter_bound] defaults to
     [n - 1], the always-safe bound; pass the actual diameter for honest
     O(D) rounds. [tracer] is forwarded to {!Simulator.run}. *)
+
+(** {1 Fault-tolerant entry point} *)
+
+type report = {
+  leader : int;  (** the majority candidate among surviving nodes *)
+  dissenters : int list;
+      (** surviving nodes that ended on a different candidate, ascending *)
+  stats : Simulator.stats;
+}
+
+val run_outcome :
+  ?diameter_bound:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  report Outcome.t
+(** Max-id flooding under injected faults. Flooding is idempotent, so
+    duplication and reordering are harmless by construction; loss within
+    the round budget or a crash can leave survivors split, which is
+    reported ([dissenters] = the degradation's [affected]) instead of the
+    fault-free entry point's [failwith]. A [Complete] outcome means every
+    node survived and unanimously elected the maximum id. *)

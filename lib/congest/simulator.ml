@@ -24,6 +24,16 @@ type stats = {
 
 type profiled_stats = { base : stats; profile : Trace.Profile.t }
 
+type partial = {
+  partial_stats : stats;
+  unhalted : int list;
+  crashed_nodes : int list;
+}
+
+type 'state run_result =
+  | Finished of 'state array * stats
+  | Out_of_rounds of 'state array * partial
+
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 exception Round_limit of int
 
@@ -51,7 +61,7 @@ let reverse_ports ctxs =
         ctx.neighbors)
     ctxs
 
-let run ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer g program =
+let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g program =
   if bandwidth < 1 then invalid_arg "Simulator.run: bandwidth";
   let n = Graph.n g in
   let ctxs = Array.init n (make_ctx g) in
@@ -62,6 +72,11 @@ let run ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer g program =
   (* inboxes.(v) holds (port, msg) in reversed arrival order. *)
   let inboxes : (int * 'msg) list array = Array.make n [] in
   let next_inboxes : (int * 'msg) list array = Array.make n [] in
+  (* Fault bookkeeping; untouched (and unallocated beyond the array) when
+     [faults] is absent, so the fault-free path stays byte-identical. *)
+  let crashed = Array.make n false in
+  (* arrival round -> (dst, port, msg) in reversed scheduling order *)
+  let delayed : (int, (int * int * 'msg) list) Hashtbl.t = Hashtbl.create 16 in
   let rounds = ref 0 in
   let messages = ref 0 in
   let words = ref 0 in
@@ -69,88 +84,191 @@ let run ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer g program =
   (* Tracing bookkeeping lives behind the option so the untraced hot path
      pays one branch per message and nothing else. *)
   let round_max = ref 0 in
+  let out_of_rounds = ref false in
   (* A node with an empty inbox whose last round produced no messages would
      never change state again only if its program is quiescent; we cannot
      know that, so we keep stepping until is_halted. *)
-  while !live > 0 do
-    if !rounds >= max_rounds then raise (Round_limit !rounds);
-    incr rounds;
-    (match tracer with
-    | None -> ()
-    | Some t ->
-        round_max := 0;
-        t (Trace.Round_start { round = !rounds; live = !live }));
-    (* Per-round, per-(node, port) word budget. *)
-    let budget = Hashtbl.create 64 in
-    for v = 0 to n - 1 do
-      if not halted.(v) then begin
-        let inbox = List.rev inboxes.(v) in
-        inboxes.(v) <- [];
-        let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
-        states.(v) <- state;
-        List.iter
-          (fun (port, msg) ->
-            let ctx = ctxs.(v) in
-            if port < 0 || port >= Array.length ctx.neighbors then
-              invalid_arg "Simulator: bad port";
-            let size = program.msg_words msg in
-            if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
-            let key = (v, port) in
-            let used = match Hashtbl.find_opt budget key with Some u -> u | None -> 0 in
-            let used = used + size in
-            if used > bandwidth then
-              raise
-                (Bandwidth_exceeded
-                   { node = v; port; round = !rounds; words = used; limit = bandwidth });
-            Hashtbl.replace budget key used;
-            if used > !max_edge_load then max_edge_load := used;
-            incr messages;
-            words := !words + size;
-            let w = ctx.neighbors.(port) in
-            let back = rev.(v).(port) in
-            (match tracer with
-            | None -> ()
-            | Some t ->
-                if used > !round_max then round_max := used;
-                t
-                  (Trace.Send
-                     {
-                       round = !rounds;
-                       src = v;
-                       dst = w;
-                       edge = ctx.neighbor_edges.(port);
-                       words = size;
-                     }));
-            next_inboxes.(w) <- (back, msg) :: next_inboxes.(w))
-          outbox;
-        if program.is_halted state then begin
-          halted.(v) <- true;
-          decr live;
-          match tracer with
+  while !live > 0 && not !out_of_rounds do
+    if !rounds >= max_rounds then out_of_rounds := true
+    else begin
+      incr rounds;
+      (match tracer with
+      | None -> ()
+      | Some t ->
+          round_max := 0;
+          t (Trace.Round_start { round = !rounds; live = !live }));
+      (match faults with
+      | None -> ()
+      | Some inj ->
+          (* Crashes fire at the start of the round: the node neither steps
+             nor receives from now on. *)
+          List.iter
+            (fun v ->
+              if v >= 0 && v < n && not crashed.(v) then begin
+                crashed.(v) <- true;
+                if not halted.(v) then decr live;
+                inboxes.(v) <- [];
+                match tracer with
+                | None -> ()
+                | Some t -> t (Trace.Crash { round = !rounds; node = v })
+              end)
+            (Fault.crashes_at inj ~round:!rounds);
+          (* Deliveries whose extra latency expires this round join the
+             inboxes after the synchronous ones. *)
+          match Hashtbl.find_opt delayed !rounds with
           | None -> ()
-          | Some t -> t (Trace.Halt { round = !rounds; node = v })
+          | Some arrivals ->
+              Hashtbl.remove delayed !rounds;
+              List.iter
+                (fun (dst, port, msg) ->
+                  if not (halted.(dst) || crashed.(dst)) then
+                    inboxes.(dst) <- (port, msg) :: inboxes.(dst))
+                (List.rev arrivals));
+      (* Per-round, per-(node, port) word budget. *)
+      let budget = Hashtbl.create 64 in
+      for v = 0 to n - 1 do
+        if not (halted.(v) || crashed.(v)) then begin
+          let inbox = List.rev inboxes.(v) in
+          inboxes.(v) <- [];
+          let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
+          states.(v) <- state;
+          List.iter
+            (fun (port, msg) ->
+              let ctx = ctxs.(v) in
+              if port < 0 || port >= Array.length ctx.neighbors then
+                invalid_arg "Simulator: bad port";
+              let size = program.msg_words msg in
+              if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
+              let key = (v, port) in
+              let used = match Hashtbl.find_opt budget key with Some u -> u | None -> 0 in
+              let used = used + size in
+              if used > bandwidth then
+                raise
+                  (Bandwidth_exceeded
+                     { node = v; port; round = !rounds; words = used; limit = bandwidth });
+              Hashtbl.replace budget key used;
+              if used > !max_edge_load then max_edge_load := used;
+              let w = ctx.neighbors.(port) in
+              let back = rev.(v).(port) in
+              let edge = ctx.neighbor_edges.(port) in
+              match faults with
+              | None ->
+                  incr messages;
+                  words := !words + size;
+                  (match tracer with
+                  | None -> ()
+                  | Some t ->
+                      if used > !round_max then round_max := used;
+                      t (Trace.Send { round = !rounds; src = v; dst = w; edge; words = size }));
+                  next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
+              | Some inj ->
+                  (* The transmission consumed its slot on the wire either
+                     way (the budget above); what the network then does to
+                     it is the injector's verdict. *)
+                  if crashed.(w) then begin
+                    Fault.note_to_crashed inj;
+                    match tracer with
+                    | None -> ()
+                    | Some t ->
+                        if used > !round_max then round_max := used;
+                        t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size })
+                  end
+                  else begin
+                    match Fault.transmission inj ~round:!rounds ~edge with
+                    | Fault.Lose Fault.Random_loss -> (
+                        match tracer with
+                        | None -> ()
+                        | Some t ->
+                            if used > !round_max then round_max := used;
+                            t
+                              (Trace.Drop
+                                 { round = !rounds; src = v; dst = w; edge; words = size }))
+                    | Fault.Lose Fault.Link_is_down -> (
+                        match tracer with
+                        | None -> ()
+                        | Some t ->
+                            if used > !round_max then round_max := used;
+                            t (Trace.Link_down { round = !rounds; edge }))
+                    | Fault.Deliver delays ->
+                        List.iteri
+                          (fun i delay ->
+                            incr messages;
+                            words := !words + size;
+                            (match tracer with
+                            | None -> ()
+                            | Some t ->
+                                if used > !round_max then round_max := used;
+                                if i = 0 then
+                                  t
+                                    (Trace.Send
+                                       { round = !rounds; src = v; dst = w; edge; words = size })
+                                else
+                                  t
+                                    (Trace.Duplicate
+                                       { round = !rounds; src = v; dst = w; edge; words = size });
+                                if delay > 0 then
+                                  t
+                                    (Trace.Delayed
+                                       { round = !rounds; src = v; dst = w; edge; delay }));
+                            if delay = 0 then
+                              next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
+                            else begin
+                              let at = !rounds + 1 + delay in
+                              let pending =
+                                match Hashtbl.find_opt delayed at with
+                                | Some l -> l
+                                | None -> []
+                              in
+                              Hashtbl.replace delayed at ((w, back, msg) :: pending)
+                            end)
+                          delays
+                  end)
+            outbox;
+          if program.is_halted state then begin
+            halted.(v) <- true;
+            decr live;
+            match tracer with
+            | None -> ()
+            | Some t -> t (Trace.Halt { round = !rounds; node = v })
+          end
         end
-      end
-      else inboxes.(v) <- []
-    done;
-    for v = 0 to n - 1 do
-      inboxes.(v) <- next_inboxes.(v);
-      next_inboxes.(v) <- []
-    done;
-    match tracer with
-    | None -> ()
-    | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })
+        else inboxes.(v) <- []
+      done;
+      for v = 0 to n - 1 do
+        inboxes.(v) <- next_inboxes.(v);
+        next_inboxes.(v) <- []
+      done;
+      match tracer with
+      | None -> ()
+      | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })
+    end
   done;
-  ( states,
+  let stats =
     { rounds = !rounds; messages = !messages; words = !words; max_edge_load = !max_edge_load }
-  )
+  in
+  if !out_of_rounds then begin
+    let unhalted = ref [] in
+    for v = n - 1 downto 0 do
+      if not (halted.(v) || crashed.(v)) then unhalted := v :: !unhalted
+    done;
+    let crashed_nodes =
+      match faults with None -> [] | Some inj -> Fault.crashed_nodes inj
+    in
+    Out_of_rounds (states, { partial_stats = stats; unhalted = !unhalted; crashed_nodes })
+  end
+  else Finished (states, stats)
 
-let run_profiled ?bandwidth ?max_rounds ?tracer g program =
+let run ?bandwidth ?max_rounds ?tracer ?faults g program =
+  match run_outcome ?bandwidth ?max_rounds ?tracer ?faults g program with
+  | Finished (states, stats) -> (states, stats)
+  | Out_of_rounds (_, partial) -> raise (Round_limit partial.partial_stats.rounds)
+
+let run_profiled ?bandwidth ?max_rounds ?tracer ?faults g program =
   let profile = Trace.Profile.create ~edges:(Graph.m g) () in
   let tracer =
     match tracer with
     | None -> Trace.Profile.tracer profile
     | Some t -> Trace.tee [ Trace.Profile.tracer profile; t ]
   in
-  let states, base = run ?bandwidth ?max_rounds ~tracer g program in
+  let states, base = run ?bandwidth ?max_rounds ~tracer ?faults g program in
   (states, { base; profile })

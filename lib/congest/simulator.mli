@@ -50,15 +50,43 @@ type profiled_stats = {
       (** per-edge / per-round congestion profile of the same run *)
 }
 
+type partial = {
+  partial_stats : stats;  (** accounting for the rounds that did run *)
+  unhalted : int list;  (** live (non-halted, non-crashed) nodes, ascending *)
+  crashed_nodes : int list;  (** nodes lost to injected crashes, ascending *)
+}
+(** What a run that hit [max_rounds] had accomplished when it stopped —
+    nothing the simulator learned is discarded. *)
+
+type 'state run_result =
+  | Finished of 'state array * stats
+  | Out_of_rounds of 'state array * partial
+      (** [max_rounds] elapsed with live nodes; states and statistics are
+          as of the moment the limit hit *)
+
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 
 exception Round_limit of int
-(** Raised when [max_rounds] elapse with unfinished nodes. *)
+(** Raised by {!run} when [max_rounds] elapse with unfinished nodes. Use
+    {!run_outcome} to recover the partial states and statistics instead of
+    unwinding past them. *)
+
+val run_outcome :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) program ->
+  'state run_result
+(** Like {!run}, but hitting [max_rounds] returns [Out_of_rounds] with the
+    partial states and statistics rather than raising {!Round_limit}. *)
 
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) program ->
   'state array * stats
@@ -68,12 +96,22 @@ val run :
     {!Trace.event} of the run — round boundaries, each message with its
     host edge id, node halts, per-round bandwidth high-water marks; when
     absent the run pays one branch per message and allocates nothing, so
-    tracing never perturbs what it observes. *)
+    tracing never perturbs what it observes.
+
+    [faults] (default absent) subjects the network to a compiled
+    {!Fault.t}: transmissions may be dropped, duplicated or delayed, links
+    go down for scheduled intervals, and nodes crash at scheduled rounds
+    (a crashed node stops stepping, sending and receiving; messages
+    addressed to it are silently lost, traced as [Drop]). Faults never
+    bypass bandwidth accounting — a dropped transmission still consumed
+    its slot on the wire. When [faults] is absent the run takes the exact
+    historical code path, byte for byte. *)
 
 val run_profiled :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) program ->
   'state array * profiled_stats

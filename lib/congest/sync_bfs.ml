@@ -21,6 +21,7 @@ type state = {
   dist : int;
   parent_port : int;
   children : int list;  (** ports *)
+  reported : int list;  (** child ports whose Height was absorbed *)
   heights_needed : int;
   best_height : int;
   global_height : int;
@@ -34,6 +35,7 @@ let initial is_root _ctx =
     dist = (if is_root then 0 else -1);
     parent_port = -1;
     children = [];
+    reported = [];
     heights_needed = -1;
     best_height = -1;
     global_height = -1;
@@ -53,13 +55,21 @@ let on_round ctx state ~inbox =
             if st.dist < 0 then
               { st with dist = d + 1; parent_port = port; phase = Announce }
             else st
-        | Child -> { st with children = port :: st.children }
+        | Child ->
+            (* Idempotent against injected duplicates: registering the same
+               port twice would later fan two Gheight copies through one
+               port in one round, breaching the bandwidth budget. *)
+            if List.mem port st.children then st
+            else { st with children = port :: st.children }
         | Height h ->
-            {
-              st with
-              best_height = max st.best_height h;
-              heights_needed = st.heights_needed - 1;
-            }
+            if List.mem port st.reported then st
+            else
+              {
+                st with
+                reported = port :: st.reported;
+                best_height = max st.best_height h;
+                heights_needed = st.heights_needed - 1;
+              }
         | Gheight h -> { st with global_height = h })
       state inbox
   in
@@ -110,29 +120,97 @@ let on_round ctx state ~inbox =
       else (state, [])
   | Finished -> (state, [])
 
-let run ?max_rounds ?tracer g ~root =
-  let program =
-    {
-      Simulator.init = (fun ctx -> initial (ctx.Simulator.node = root) ctx);
-      on_round;
-      is_halted = (fun st -> st.phase = Finished);
-      msg_words = words;
-    }
-  in
-  let states, stats = Simulator.run ?max_rounds ?tracer g program in
+let make_program ~root =
+  {
+    Simulator.init = (fun ctx -> initial (ctx.Simulator.node = root) ctx);
+    on_round;
+    is_halted = (fun st -> st.phase = Finished);
+    msg_words = words;
+  }
+
+let parents_of_states g states =
   let n = Graph.n g in
   let parent = Array.make n (-1) in
   let parent_edge = Array.make n (-1) in
-  let ctx v = Graph.adj_list g v in
   Array.iteri
     (fun v st ->
       if st.parent_port >= 0 then begin
-        let adj = Array.of_list (ctx v) in
+        let adj = Array.of_list (Graph.adj_list g v) in
         let w, e = adj.(st.parent_port) in
         parent.(v) <- w;
         parent_edge.(v) <- e
       end)
     states;
+  (parent, parent_edge)
+
+let run ?max_rounds ?tracer g ~root =
+  let program = make_program ~root in
+  let states, stats = Simulator.run ?max_rounds ?tracer g program in
+  let parent, parent_edge = parents_of_states g states in
   let tree = Rooted_tree.create ~root ~parent ~parent_edge in
   let height = states.(root).global_height in
   (tree, height, stats)
+
+(* --- Fault-tolerant entry point ------------------------------------------ *)
+
+type report = {
+  tree : Rooted_tree.t option;  (** [Some] only when every node joined *)
+  parent : int array;  (** [-1] at the root and at unjoined nodes *)
+  dist : int array;  (** BFS depth; [-1] at unjoined nodes *)
+  height : int;  (** global height as known at the root; [-1] if unknown *)
+  unjoined : int list;  (** nodes that never joined the tree, ascending *)
+  stats : Simulator.stats;
+}
+
+let run_outcome ?max_rounds ?tracer ?faults g ~root =
+  (* The wave protocol counts exact round offsets (Child notifications
+     arrive announce+2), so it cannot ride on the Reliable ARQ, which
+     stretches the clock: it runs raw, and any injected loss degrades the
+     result honestly instead of corrupting it. *)
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> (4 * Graph.n g) + 64
+  in
+  let program = make_program ~root in
+  let states, out_of_rounds, stats =
+    match Simulator.run_outcome ~max_rounds ?tracer ?faults g program with
+    | Simulator.Finished (states, stats) -> (states, false, stats)
+    | Simulator.Out_of_rounds (states, p) -> (states, true, p.Simulator.partial_stats)
+  in
+  let n = Graph.n g in
+  let parent, parent_edge = parents_of_states g states in
+  let dist = Array.map (fun (st : state) -> st.dist) states in
+  let unjoined = ref [] in
+  for v = n - 1 downto 0 do
+    if dist.(v) < 0 then unjoined := v :: !unjoined
+  done;
+  let unjoined = !unjoined in
+  (* Validate what did join: each joined non-root node's parent must be
+     joined one level shallower. Lost Join messages can delay adoption but
+     never violate this (a node adopts the first announcement it hears,
+     whose sender's depth it copies verbatim), so a violation marks the
+     node affected rather than trusting the partial tree. *)
+  let invalid = ref [] in
+  for v = n - 1 downto 0 do
+    if v <> root && dist.(v) >= 0 then begin
+      let p = parent.(v) in
+      if p < 0 || dist.(p) <> dist.(v) - 1 then invalid := v :: !invalid
+    end
+  done;
+  let invalid = !invalid in
+  let tree =
+    if unjoined = [] && invalid = [] then
+      Some (Rooted_tree.create ~root ~parent ~parent_edge)
+    else None
+  in
+  let height = states.(root).global_height in
+  let crashed = match faults with None -> [] | Some inj -> Fault.crashed_nodes inj in
+  let affected = List.sort_uniq compare (unjoined @ invalid) in
+  let report = { tree; parent; dist; height; unjoined; stats } in
+  Outcome.classify report
+    {
+      Outcome.crashed;
+      unresponsive = [];
+      affected;
+      out_of_rounds;
+      rounds = stats.Simulator.rounds;
+    }

@@ -18,3 +18,33 @@ val run :
 (** [run g ~root] is [(tree, height, stats)]. On a disconnected graph some
     node never joins and the simulation raises {!Simulator.Round_limit}.
     [tracer] is forwarded to {!Simulator.run}. *)
+
+(** {1 Fault-tolerant entry point} *)
+
+type report = {
+  tree : Lcs_graph.Rooted_tree.t option;
+      (** [Some] only when every node joined with consistent depths *)
+  parent : int array;  (** [-1] at the root and at unjoined nodes *)
+  dist : int array;  (** tree depth; [-1] at unjoined nodes *)
+  height : int;  (** global height as known at the root; [-1] if unknown *)
+  unjoined : int list;  (** nodes that never joined, ascending *)
+  stats : Simulator.stats;
+}
+
+val run_outcome :
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  root:int ->
+  report Outcome.t
+(** BFS construction under injected faults. The wave protocol counts
+    exact round offsets, so it runs {e raw} (no {!Reliable} wrapping —
+    the ARQ stretches the clock); faults therefore degrade the result
+    rather than being absorbed. The validator checks every joined
+    non-root node has a joined parent exactly one level shallower;
+    violators and unjoined nodes form the degradation's [affected].
+    Caveat stated rather than hidden: under message loss a [Complete]
+    result is a consistent rooted spanning tree, but a delayed adoption
+    can make depths exceed true BFS distances. [max_rounds] defaults to
+    [4n + 64]. *)

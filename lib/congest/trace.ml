@@ -5,6 +5,11 @@ type event =
   | Send of { round : int; src : int; dst : int; edge : int; words : int }
   | Halt of { round : int; node : int }
   | Round_end of { round : int; max_edge_load : int }
+  | Drop of { round : int; src : int; dst : int; edge : int; words : int }
+  | Duplicate of { round : int; src : int; dst : int; edge : int; words : int }
+  | Delayed of { round : int; src : int; dst : int; edge : int; delay : int }
+  | Link_down of { round : int; edge : int }
+  | Crash of { round : int; node : int }
 
 type tracer = event -> unit
 
@@ -32,6 +37,42 @@ let event_to_json = function
           ("round", Json.Int round);
           ("max_edge_load", Json.Int max_edge_load);
         ]
+  | Drop { round; src; dst; edge; words } ->
+      Json.Obj
+        [
+          ("t", Json.String "drop");
+          ("round", Json.Int round);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("edge", Json.Int edge);
+          ("words", Json.Int words);
+        ]
+  | Duplicate { round; src; dst; edge; words } ->
+      Json.Obj
+        [
+          ("t", Json.String "duplicate");
+          ("round", Json.Int round);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("edge", Json.Int edge);
+          ("words", Json.Int words);
+        ]
+  | Delayed { round; src; dst; edge; delay } ->
+      Json.Obj
+        [
+          ("t", Json.String "delayed");
+          ("round", Json.Int round);
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("edge", Json.Int edge);
+          ("delay", Json.Int delay);
+        ]
+  | Link_down { round; edge } ->
+      Json.Obj
+        [ ("t", Json.String "link_down"); ("round", Json.Int round); ("edge", Json.Int edge) ]
+  | Crash { round; node } ->
+      Json.Obj
+        [ ("t", Json.String "crash"); ("round", Json.Int round); ("node", Json.Int node) ]
 
 (* --- growable int array -------------------------------------------------- *)
 
@@ -93,6 +134,13 @@ module Profile = struct
     mutable rounds : int;
     mutable total_words : int;
     mutable total_messages : int;
+    (* Injected-fault accounting, all zero on fault-free runs so the JSON
+       export stays byte-identical to the pre-fault schema. *)
+    mutable dropped : int;
+    mutable link_down_drops : int;
+    mutable duplicated : int;
+    mutable delayed : int;
+    mutable crashed : int;
   }
 
   let create ?edges () =
@@ -106,6 +154,11 @@ module Profile = struct
       rounds = 0;
       total_words = 0;
       total_messages = 0;
+      dropped = 0;
+      link_down_drops = 0;
+      duplicated = 0;
+      delayed = 0;
+      crashed = 0;
     }
 
   let tracer p = function
@@ -120,11 +173,30 @@ module Profile = struct
     | Round_end { round; max_edge_load } ->
         Ibuf.set_max p.round_max (round - 1) max_edge_load;
         if round > p.rounds then p.rounds <- round
+    (* A duplicated copy crosses the wire and is delivered, so it counts as
+       traffic exactly like a Send; the other fault events are bookkeeping
+       about words that did NOT flow (or nodes that died). *)
+    | Duplicate { round; edge; words; _ } ->
+        Ibuf.add p.edge_words edge words;
+        Ibuf.add p.round_words (round - 1) words;
+        p.total_words <- p.total_words + words;
+        p.total_messages <- p.total_messages + 1;
+        p.duplicated <- p.duplicated + 1;
+        if round > p.rounds then p.rounds <- round
+    | Drop _ -> p.dropped <- p.dropped + 1
+    | Link_down _ -> p.link_down_drops <- p.link_down_drops + 1
+    | Delayed _ -> p.delayed <- p.delayed + 1
+    | Crash _ -> p.crashed <- p.crashed + 1
 
   let rounds p = p.rounds
   let total_words p = p.total_words
   let total_messages p = p.total_messages
   let edge_words p = Ibuf.to_array p.edge_words
+  let dropped p = p.dropped + p.link_down_drops
+  let duplicated p = p.duplicated
+  let delayed p = p.delayed
+  let crashed p = p.crashed
+  let fault_events p = p.dropped + p.link_down_drops + p.duplicated + p.delayed + p.crashed
 
   let load_curve p =
     let curve = Ibuf.to_array p.round_words in
@@ -174,8 +246,25 @@ module Profile = struct
       Array.iteri (fun e w -> if w > 0 then acc := (e, w) :: !acc) (edge_words p);
       List.rev !acc
     in
+    let fault_fields =
+      (* Present only when faults were observed: fault-free profiles keep
+         the exact pre-fault JSON schema, byte for byte. *)
+      if fault_events p = 0 then []
+      else
+        [
+          ( "faults",
+            Json.Obj
+              [
+                ("dropped", Json.Int p.dropped);
+                ("link_down_drops", Json.Int p.link_down_drops);
+                ("duplicated", Json.Int p.duplicated);
+                ("delayed", Json.Int p.delayed);
+                ("crashed", Json.Int p.crashed);
+              ] );
+        ]
+    in
     Json.Obj
-      [
+      ([
         ("rounds", Json.Int p.rounds);
         ("total_words", Json.Int p.total_words);
         ("total_messages", Json.Int p.total_messages);
@@ -192,4 +281,5 @@ module Profile = struct
                    [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
                (histogram p)) );
       ]
+      @ fault_fields)
 end

@@ -25,6 +25,20 @@ type event =
   | Round_end of { round : int; max_edge_load : int }
       (** a round ends; [max_edge_load] is the round's bandwidth high-water
           mark (max words on one edge-direction) *)
+  | Drop of { round : int; src : int; dst : int; edge : int; words : int }
+      (** an injected fault lost this transmission (random loss, or the
+          destination had crashed); the words never arrive *)
+  | Duplicate of { round : int; src : int; dst : int; edge : int; words : int }
+      (** the network delivered an extra copy of a message on [edge] *)
+  | Delayed of { round : int; src : int; dst : int; edge : int; delay : int }
+      (** this delivery arrives [delay] rounds later than the synchronous
+          model's round [r + 1] *)
+  | Link_down of { round : int; edge : int }
+      (** a transmission was lost because [edge] is inside one of its
+          scheduled down intervals *)
+  | Crash of { round : int; node : int }
+      (** [node] crashed at the start of this round and takes no further
+          part in the run *)
 
 type tracer = event -> unit
 
@@ -88,6 +102,24 @@ module Profile : sig
   (** Distribution of per-edge totals over edges with traffic:
       [(lo, hi, count)] with inclusive word-count ranges, [buckets]
       (default 8) equal-width bins. Empty when nothing was sent. *)
+
+  val dropped : t -> int
+  (** Transmissions lost to injected faults (random loss + down links). *)
+
+  val duplicated : t -> int
+  (** Extra copies the network delivered. [Duplicate] events count as
+      traffic — their words are folded into [edge_words]/[total_words] so
+      a faulty run's profile still reconciles with its
+      {!Simulator.stats}. *)
+
+  val delayed : t -> int
+  (** Deliveries that arrived later than the synchronous round [r + 1]. *)
+
+  val crashed : t -> int
+  (** Nodes that crashed during the run. *)
+
+  val fault_events : t -> int
+  (** Total injected-fault events observed; [0] for every fault-free run. *)
 
   val to_json : ?top_k:int -> t -> Lcs_util.Json.t
   (** The whole profile — totals, per-edge words, top-[k] edges, load

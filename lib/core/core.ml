@@ -31,6 +31,9 @@ module Graph_io = Lcs_graph.Graph_io
 (* CONGEST simulator *)
 module Simulator = Lcs_congest.Simulator
 module Trace = Lcs_congest.Trace
+module Fault = Lcs_congest.Fault
+module Reliable = Lcs_congest.Reliable
+module Outcome = Lcs_congest.Outcome
 module Sync_bfs = Lcs_congest.Sync_bfs
 module Tree_info = Lcs_congest.Tree_info
 module Broadcast = Lcs_congest.Broadcast

@@ -1,0 +1,24 @@
+(** E19 — graceful degradation under injected faults.
+
+    Runs every fault-tolerant protocol entry point (broadcast,
+    convergecast, BFS, leader election, part-wise minimum, distributed
+    shortcut construction) on an 8×8 grid under canned fault plans and
+    tabulates each run's classification: complete or degraded, how much
+    was lost (crashed nodes, dead links, affected nodes), and whether the
+    protocol's own post-hoc validation held. The acceptance criterion is
+    the last column: no row may combine a surviving answer with a failed
+    validation — faults may cost coverage, never correctness. *)
+
+val light_loss_plan : seed:int -> Core.Fault.plan
+(** 5% drop, 2% duplication, 5% reorder on every edge; no crashes. *)
+
+val crash_heavy_plan : seed:int -> n:int -> Core.Fault.plan
+(** 2% drop plus three scheduled node crashes in the first rounds. *)
+
+val matrix :
+  ?seed:int -> plan_name:string -> plan:Core.Fault.plan -> unit -> Exp_types.outcome
+(** One fault matrix under a single (possibly user-supplied) plan — the
+    engine behind [experiments.exe --faults PLAN.json]. *)
+
+val e19 : ?seed:int -> unit -> Exp_types.outcome
+(** The registered experiment: {!matrix} under both canned plans. *)

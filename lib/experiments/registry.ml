@@ -18,6 +18,7 @@ let all =
     ("E16", Exp_ablation.e16);
     ("E17", Exp_distributed.e17);
     ("E18", Exp_algos.e18);
+    ("E19", Exp_faults.e19);
   ]
 
 let find id =

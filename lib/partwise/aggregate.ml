@@ -54,6 +54,17 @@ let reference_minima shortcut ~values =
         max_int
         (Partition.members partition i))
 
+let surviving_minima shortcut ~values ~crashed =
+  let partition = Shortcut.partition shortcut in
+  let n = Graph.n (Shortcut.graph shortcut) in
+  let dead = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then dead.(v) <- true) crashed;
+  Array.init (Shortcut.k shortcut) (fun i ->
+      Array.fold_left
+        (fun acc v -> if dead.(v) then acc else min acc values.(v))
+        max_int
+        (Partition.members partition i))
+
 let bound ~congestion ~dilation ~n =
   let log2n = int_of_float (Float.ceil (log (float_of_int (max 2 n)) /. log 2.)) in
   congestion + (dilation * log2n)

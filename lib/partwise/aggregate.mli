@@ -56,6 +56,12 @@ val reference_minima : Lcs_shortcut.Shortcut.t -> values:int array -> int array
 
 val reference_sums : Lcs_shortcut.Shortcut.t -> values:int array -> int array
 
+val surviving_minima :
+  Lcs_shortcut.Shortcut.t -> values:int array -> crashed:int list -> int array
+(** {!reference_minima} restricted to the nodes {e not} in [crashed] — the
+    ground truth a fault-degraded run is validated against ({!Sim_aggregate}'s
+    [minimum_outcome]). A part whose members all crashed yields [max_int]. *)
+
 val bound : congestion:int -> dilation:int -> n:int -> int
 (** The scheduling bound [c + d·⌈log₂ n⌉] the measurements are compared
     to. *)

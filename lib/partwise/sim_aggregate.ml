@@ -21,7 +21,7 @@ type node_state = {
   last_improved : int;  (* as a part member *)
 }
 
-let minimum ?budget ?tracer rng shortcut ~values =
+let setup ?budget rng shortcut ~values =
   let host = Shortcut.graph shortcut in
   let partition = Shortcut.partition shortcut in
   let k = Shortcut.k shortcut in
@@ -131,6 +131,10 @@ let minimum ?budget ?tracer rng shortcut ~values =
       msg_words = (fun _ -> 1);
     }
   in
+  (program, budget, host, partition, k)
+
+let minimum ?budget ?tracer rng shortcut ~values =
+  let program, budget, host, partition, _k = setup ?budget rng shortcut ~values in
   let states, stats = Simulator.run ~max_rounds:(budget + 8) ?tracer host program in
   let reference = Aggregate.reference_minima shortcut ~values in
   Array.iteri
@@ -151,3 +155,104 @@ let minimum ?budget ?tracer rng shortcut ~values =
     messages = stats.Simulator.messages;
     stats;
   }
+
+(* --- Fault-tolerant entry point ------------------------------------------ *)
+
+module Fault = Lcs_congest.Fault
+module Reliable = Lcs_congest.Reliable
+module Outcome = Lcs_congest.Outcome
+
+type report = {
+  minima : int array;
+      (** per part: the minimum over its surviving members' values — the
+          reference a degraded run is held to *)
+  diverged : int list;  (** parts with a surviving member disagreeing *)
+  completion_round : int;
+  ostats : Simulator.stats;
+  retransmissions : int;
+}
+
+let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?config rng
+    shortcut ~values =
+  (* The ARQ roughly triples per-hop latency (data + ack round trips), so
+     the reliable path gets a proportionally larger round budget unless
+     the caller pins one. *)
+  let budget =
+    match budget with
+    | Some b -> Some b
+    | None when not reliable -> None
+    | None ->
+        let r = Lcs_shortcut.Quality.measure shortcut in
+        let n = Graph.n (Shortcut.graph shortcut) in
+        let bound =
+          Aggregate.bound ~congestion:r.Lcs_shortcut.Quality.congestion
+            ~dilation:(max 1 r.Lcs_shortcut.Quality.dilation) ~n
+        in
+        Some (8 * ((4 * bound) + 32))
+  in
+  let program, budget, host, partition, k = setup ?budget rng shortcut ~values in
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None -> if reliable then budget + 512 else budget + 8
+  in
+  let extract result of_states retrans_of dead_of =
+    match result with
+    | Simulator.Finished (states, stats) ->
+        (of_states states, retrans_of states, dead_of states, false, stats)
+    | Simulator.Out_of_rounds (states, p) ->
+        (of_states states, retrans_of states, dead_of states, true, p.Simulator.partial_stats)
+  in
+  let states, retransmissions, unresponsive, out_of_rounds, ostats =
+    if reliable then
+      extract
+        (Simulator.run_outcome ~max_rounds ?tracer ?faults host
+           (Reliable.wrap ?config program))
+        Reliable.inner_states Reliable.retransmissions Reliable.dead_links
+    else
+      extract
+        (Simulator.run_outcome ~max_rounds ?tracer ?faults host program)
+        Fun.id
+        (fun _ -> 0)
+        (fun _ -> [])
+  in
+  let crashed = match faults with None -> [] | Some inj -> Fault.crashed_nodes inj in
+  let n = Graph.n host in
+  let dead = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then dead.(v) <- true) crashed;
+  let minima = Aggregate.surviving_minima shortcut ~values ~crashed in
+  (* Per-part validation: every surviving member must hold exactly the
+     surviving minimum — anything else (missing or stale) marks the part
+     diverged and its surviving members affected. Never a silent wrong
+     answer, never the fault-free path's [failwith]. *)
+  let diverged = ref [] in
+  let affected = ref [] in
+  for i = k - 1 downto 0 do
+    let members = Lcs_graph.Partition.members partition i in
+    let bad = ref false in
+    Array.iter
+      (fun v ->
+        if not dead.(v) then
+          match Hashtbl.find_opt states.(v).best i with
+          | Some b when b = minima.(i) -> ()
+          | _ -> bad := true)
+      members;
+    if !bad then begin
+      diverged := i :: !diverged;
+      Array.iter (fun v -> if not dead.(v) then affected := v :: !affected) members
+    end
+  done;
+  let diverged = !diverged in
+  let affected = List.sort_uniq compare !affected in
+  let completion_round =
+    Array.fold_left (fun acc st -> max acc st.last_improved) 0 states
+  in
+  let report = { minima; diverged; completion_round; ostats; retransmissions } in
+  Outcome.classify report
+    {
+      Outcome.crashed;
+      unresponsive;
+      affected;
+      out_of_rounds;
+      rounds = ostats.Simulator.rounds;
+    }

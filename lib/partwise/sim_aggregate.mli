@@ -40,3 +40,41 @@ val minimum :
     observes the underlying {!Lcs_congest.Simulator} run — its per-edge
     profile is how E7-style experiments see the congestion {e
     distribution} rather than just the maximum. *)
+
+(** {1 Fault-tolerant entry point} *)
+
+type report = {
+  minima : int array;
+      (** per part: the minimum over its {e surviving} members' values —
+          the reference a degraded run is held to
+          ({!Aggregate.surviving_minima}); [max_int] for a part whose
+          members all crashed *)
+  diverged : int list;
+      (** parts where some surviving member holds anything else, ascending *)
+  completion_round : int;
+  ostats : Lcs_congest.Simulator.stats;
+  retransmissions : int;  (** ARQ retransmitted frames; 0 when raw *)
+}
+
+val minimum_outcome :
+  ?budget:int ->
+  ?max_rounds:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
+  ?faults:Lcs_congest.Fault.t ->
+  ?reliable:bool ->
+  ?config:Lcs_congest.Reliable.config ->
+  Lcs_util.Rng.t ->
+  Lcs_shortcut.Shortcut.t ->
+  values:int array ->
+  report Lcs_congest.Outcome.t
+(** {!minimum} under injected faults, degrading gracefully instead of
+    raising [Failure]. [reliable] (default true) runs the flooding over
+    the {!Lcs_congest.Reliable} ARQ with an 8× round budget (the ARQ
+    costs a data/ack round trip per hop); raw mode keeps {!minimum}'s
+    budget and relies on min-flooding's natural idempotence (duplicates
+    and reordering are harmless; only loss and crashes bite). The
+    validator checks, part by part, that every surviving member holds
+    exactly the surviving minimum; failing parts are listed in [diverged]
+    and their surviving members become the degradation's [affected].
+    [Complete] therefore coincides with {!minimum}'s fault-free
+    postcondition when no faults were injected. *)

@@ -82,7 +82,8 @@ type wave_state = {
   queue : int list;  (* words left to stream upward *)
 }
 
-let detection_wave ?(seed = 1) ?max_rounds ?tracer ~variant ~threshold partition info =
+let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~threshold
+    partition info =
   if threshold < 1 then invalid_arg "Distributed.detection_wave: threshold";
   let host = Partition.graph partition in
   let repetitions = match variant with Randomized { repetitions } -> repetitions | Deterministic -> 0 in
@@ -131,10 +132,17 @@ let detection_wave ?(seed = 1) ?max_rounds ?tracer ~variant ~threshold partition
             match variant with
             | Randomized { repetitions } ->
                 let r = st.child_count.(port) in
-                st.child_count.(port) <- r + 1;
-                if word < st.mins.(r) then st.mins.(r) <- word;
-                if r + 1 = repetitions then { st with pending = st.pending - 1 }
-                else st
+                (* An injected duplicate can stretch a child's stream past
+                   the R expected words; absorbing it would index past
+                   [mins]. Corrupted counts still yield a wrong-but-bounded
+                   estimate, never a crash. *)
+                if r >= repetitions then st
+                else begin
+                  st.child_count.(port) <- r + 1;
+                  if word < st.mins.(r) then st.mins.(r) <- word;
+                  if r + 1 = repetitions then { st with pending = st.pending - 1 }
+                  else st
+                end
             | Deterministic ->
                 Hashtbl.replace st.ids word ();
                 st
@@ -143,7 +151,9 @@ let detection_wave ?(seed = 1) ?max_rounds ?tracer ~variant ~threshold partition
     in
     match st.phase with
     | Collecting ->
-        if st.pending = 0 then begin
+        (* [<=]: duplicated flag words can push [pending] below zero; the
+           node must still decide rather than wait forever. *)
+        if st.pending <= 0 then begin
           let over_sub = node.Tree_info.parent_port >= 0 && decide st in
           let queue =
             if node.Tree_info.parent_port < 0 then []
@@ -176,20 +186,40 @@ let detection_wave ?(seed = 1) ?max_rounds ?tracer ~variant ~threshold partition
       msg_words = (fun _ -> 1);
     }
   in
-  let states, stats = Simulator.run ?max_rounds ?tracer host program in
-  let over = Bitset.create (Graph.m host) in
-  Array.iteri
-    (fun v st ->
-      if st.over_sub then begin
-        (* The decision concerns v's parent edge. *)
-        let port = info.Tree_info.nodes.(v).Tree_info.parent_port in
-        if port >= 0 then begin
-          let adj = Array.of_list (Graph.adj_list host v) in
-          Bitset.add over (snd adj.(port))
-        end
-      end)
-    states;
-  (over, stats)
+  let result = Simulator.run_outcome ?max_rounds ?tracer ?faults host program in
+  let over_of_states states =
+    let over = Bitset.create (Graph.m host) in
+    Array.iteri
+      (fun v st ->
+        if st.over_sub then begin
+          (* The decision concerns v's parent edge. *)
+          let port = info.Tree_info.nodes.(v).Tree_info.parent_port in
+          if port >= 0 then begin
+            let adj = Array.of_list (Graph.adj_list host v) in
+            Bitset.add over (snd adj.(port))
+          end
+        end)
+      states
+    ;
+    over
+  in
+  match result with
+  | Simulator.Finished (states, stats) -> Ok (over_of_states states, stats)
+  | Simulator.Out_of_rounds (states, p) ->
+      let pending =
+        let acc = ref [] in
+        Array.iteri (fun v st -> if st.phase <> Done then acc := v :: !acc) states;
+        List.rev !acc
+      in
+      Error (pending, p.Simulator.partial_stats)
+
+let detection_wave ?seed ?max_rounds ?tracer ?faults ~variant ~threshold partition info =
+  match
+    detection_wave_outcome ?seed ?max_rounds ?tracer ?faults ~variant ~threshold
+      partition info
+  with
+  | Ok (over, stats) -> (over, stats)
+  | Error (_pending, partial) -> raise (Simulator.Round_limit partial.Simulator.rounds)
 
 (* --- Full pipeline ------------------------------------------------------- *)
 
@@ -235,3 +265,152 @@ let construct ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1
     wave_messages = !wave_messages;
     guesses = !guesses;
   }
+
+(* --- Fault-tolerant pipeline --------------------------------------------- *)
+
+module Fault = Lcs_congest.Fault
+module Outcome_t = Lcs_congest.Outcome
+
+type report = {
+  constructed : outcome option;  (** [Some] when the pipeline finished *)
+  failed_stage : string option;  (** ["bfs"] or ["wave"] when it did not *)
+  unjoined : int list;  (** nodes the BFS stage failed to reach *)
+  pipeline_rounds : int;  (** simulator rounds across all stages run *)
+  validated : bool option;
+      (** [Deterministic] only: accepted wave's [O] equals the centralized
+          construction's for the same threshold *)
+}
+
+let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
+    ?tracer ?faults partition ~root =
+  let host = Partition.graph partition in
+  let variant =
+    match variant with
+    | Some v -> v
+    | None -> Randomized { repetitions = default_repetitions host }
+  in
+  let crashed () =
+    match faults with None -> [] | Some inj -> Fault.crashed_nodes inj
+  in
+  (* Per-stage round caps: a crashed node never halts, so a degraded
+     stage always spends its whole budget — the budget must be "generous
+     for the fault-free case", not the pipeline-wide 2M ceiling. *)
+  let bfs_cap = min max_rounds ((4 * Graph.n host) + 64) in
+  match Sync_bfs.run_outcome ~max_rounds:bfs_cap ?tracer ?faults host ~root with
+  | Lcs_congest.Outcome.Degraded (b, d) ->
+      Outcome_t.Degraded
+        ( {
+            constructed = None;
+            failed_stage = Some "bfs";
+            unjoined = b.Sync_bfs.unjoined;
+            pipeline_rounds = b.Sync_bfs.stats.Simulator.rounds;
+            validated = None;
+          },
+          d )
+  | Lcs_congest.Outcome.Complete b ->
+      let tree =
+        match b.Sync_bfs.tree with Some t -> t | None -> assert false
+      in
+      let height = b.Sync_bfs.height in
+      let bfs_stats = b.Sync_bfs.stats in
+      let info = Tree_info.of_tree host tree in
+      let d = max 1 height in
+      let wave_rounds = ref 0 in
+      let wave_messages = ref 0 in
+      let guesses = ref 0 in
+      let rec search delta =
+        incr guesses;
+        let threshold = 8 * delta * d in
+        let payload =
+          match variant with
+          | Randomized { repetitions } -> repetitions
+          | Deterministic -> threshold + 1
+        in
+        let wave_cap = min max_rounds (256 + (8 * d * max payload 4)) in
+        match
+          detection_wave_outcome ~seed:(seed + !guesses) ~max_rounds:wave_cap ?tracer
+            ?faults ~variant ~threshold partition info
+        with
+        | Error (pending, partial) ->
+            wave_rounds := !wave_rounds + partial.Simulator.rounds;
+            Error pending
+        | Ok (over, stats) -> (
+            wave_rounds := !wave_rounds + stats.Simulator.rounds;
+            wave_messages := !wave_messages + stats.Simulator.messages;
+            let result =
+              Construct.with_fixed_overcongested partition ~tree ~over ~threshold
+                ~block_budget:(8 * delta)
+            in
+            if Construct.succeeded result then Ok (over, result, delta, threshold)
+            else search (2 * delta))
+      in
+      (match search initial_delta with
+      | Error pending ->
+          Outcome_t.Degraded
+            ( {
+                constructed = None;
+                failed_stage = Some "wave";
+                unjoined = [];
+                pipeline_rounds = bfs_stats.Simulator.rounds + !wave_rounds;
+                validated = None;
+              },
+              {
+                Outcome_t.crashed = crashed ();
+                unresponsive = [];
+                affected = pending;
+                out_of_rounds = true;
+                rounds = bfs_stats.Simulator.rounds + !wave_rounds;
+              } )
+      | Ok (over, result, delta, threshold) ->
+          let validated =
+            match variant with
+            | Randomized _ -> None
+            | Deterministic ->
+                let central =
+                  Construct.run partition ~tree ~threshold ~block_budget:(8 * delta)
+                in
+                let m = Graph.m host in
+                let same = ref true in
+                for e = 0 to m - 1 do
+                  if Bitset.mem over e <> Bitset.mem central.Construct.overcongested e
+                  then same := false
+                done;
+                Some !same
+          in
+          let constructed =
+            {
+              tree;
+              height;
+              delta;
+              threshold;
+              result;
+              bfs_stats;
+              wave_rounds = !wave_rounds;
+              wave_messages = !wave_messages;
+              guesses = !guesses;
+            }
+          in
+          let rounds = bfs_stats.Simulator.rounds + !wave_rounds in
+          let report =
+            {
+              constructed = Some constructed;
+              failed_stage = None;
+              unjoined = [];
+              pipeline_rounds = rounds;
+              validated;
+            }
+          in
+          let deg =
+            {
+              Outcome_t.crashed = crashed ();
+              unresponsive = [];
+              affected = [];
+              out_of_rounds = false;
+              rounds;
+            }
+          in
+          (* A failed validation degrades the outcome even though no node
+             is individually damaged: the constructed O itself is wrong. *)
+          if Outcome_t.is_clean deg && validated <> Some false then
+            Outcome_t.Complete report
+          else Outcome_t.Degraded (report, deg))

@@ -47,6 +47,7 @@ val detection_wave :
   ?seed:int ->
   ?max_rounds:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
+  ?faults:Lcs_congest.Fault.t ->
   variant:variant ->
   threshold:int ->
   Lcs_graph.Partition.t ->
@@ -56,7 +57,10 @@ val detection_wave :
     overcongested edge set it determined and the measured stats. With
     [Deterministic] the returned set equals the centralized construction's
     [O] for the same threshold (a property the test suite checks).
-    [tracer] observes the wave's simulator run. *)
+    [tracer] observes the wave's simulator run; [faults] subjects it to a
+    compiled fault plan (a wave that cannot finish raises
+    {!Lcs_congest.Simulator.Round_limit} exactly as a fault-free stall
+    would — use {!construct_outcome} for graceful degradation). *)
 
 val construct :
   ?seed:int ->
@@ -72,3 +76,36 @@ val construct :
     [max_rounds] bounds each simulator run (default 2_000_000). [tracer]
     observes every stage — the BFS and each detection wave feed the same
     sink, so one profile covers the whole construction. *)
+
+(** {1 Fault-tolerant pipeline} *)
+
+type report = {
+  constructed : outcome option;  (** [Some] when the pipeline finished *)
+  failed_stage : string option;  (** ["bfs"] or ["wave"] when it did not *)
+  unjoined : int list;  (** nodes the BFS stage failed to reach *)
+  pipeline_rounds : int;  (** simulator rounds across all stages run *)
+  validated : bool option;
+      (** [Deterministic] only: the accepted wave's [O] equals the
+          centralized construction's for the same threshold; a [Some
+          false] forces [Degraded] — the shortcut would be built against a
+          wrong overcongested set *)
+}
+
+val construct_outcome :
+  ?seed:int ->
+  ?variant:variant ->
+  ?max_rounds:int ->
+  ?initial_delta:int ->
+  ?tracer:Lcs_congest.Trace.tracer ->
+  ?faults:Lcs_congest.Fault.t ->
+  Lcs_graph.Partition.t ->
+  root:int ->
+  report Lcs_congest.Outcome.t
+(** {!construct} under injected faults, degrading stage by stage instead
+    of raising. The BFS and wave stages run with per-stage round caps
+    (generous for the fault-free case), so a crashed node fails a stage
+    in bounded time rather than exhausting [max_rounds]. The shared
+    [faults] injector spans all stages sequentially; each stage numbers
+    its rounds from 1, so a scheduled crash round fires in {e every}
+    stage that reaches it (a node crashed in one stage is crashed again,
+    not resurrected, in the next). *)

@@ -79,12 +79,29 @@ let to_string ?(minify = false) v =
 
 exception Parse_error of string
 
-let of_string s =
+let of_string ?(max_depth = 512) s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  (* Line/column tracking: newlines seen so far and where the current line
+     starts, maintained by advance() so every failure can report a
+     position humans can act on instead of a raw byte offset. *)
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let fail msg =
+    raise
+      (Parse_error
+         (Printf.sprintf "%s at line %d, column %d (offset %d)" msg !line
+            (!pos - !line_start + 1)
+            !pos))
+  in
   let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
+  let advance () =
+    if !pos < n && s.[!pos] = '\n' then begin
+      incr line;
+      line_start := !pos + 1
+    end;
+    incr pos
+  in
   let skip_ws () =
     while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
       advance ()
@@ -159,7 +176,9 @@ let of_string s =
       | Some i -> Int i
       | None -> fail "bad number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -174,7 +193,7 @@ let of_string s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let value = parse_value () in
+            let value = parse_value (depth + 1) in
             fields := (key, value) :: !fields;
             skip_ws ();
             match peek () with
@@ -192,7 +211,7 @@ let of_string s =
         else begin
           let items = ref [] in
           let rec loop () =
-            let value = parse_value () in
+            let value = parse_value (depth + 1) in
             items := value :: !items;
             skip_ws ();
             match peek () with
@@ -210,7 +229,7 @@ let of_string s =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
   in
-  match parse_value () with
+  match parse_value 0 with
   | value ->
       skip_ws ();
       if !pos <> n then Error "trailing garbage after JSON value" else Ok value

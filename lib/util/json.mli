@@ -22,9 +22,13 @@ type t =
 val to_string : ?minify:bool -> t -> string
 (** Render. [minify] (default false) drops all whitespace. *)
 
-val of_string : string -> (t, string) result
+val of_string : ?max_depth:int -> string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries a message with the
-    byte offset of the failure. *)
+    line, column and byte offset of the failure. [max_depth] (default
+    512) bounds container nesting, so adversarial input — say, a fault
+    plan of a hundred thousand ['[']s — fails with a clean [Error]
+    instead of exhausting the stack. Trailing garbage after the value is
+    rejected. *)
 
 val member : string -> t -> t option
 (** [member key (Obj fields)] is the first binding of [key], if any;

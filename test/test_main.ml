@@ -5,6 +5,7 @@ let () =
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
       ("trace", Test_trace.suite);
+      ("fault", Test_fault.suite);
       ("shortcut", Test_shortcut.suite);
       ("partwise", Test_partwise.suite);
       ("algos", Test_algos.suite);

@@ -174,7 +174,10 @@ let recorder_stream_well_formed () =
           check Alcotest.bool "end closes round" true (!open_ && round = !current);
           check Alcotest.bool "round max within bandwidth" true
             (max_edge_load >= 0 && max_edge_load <= stats.Simulator.max_edge_load);
-          open_ := false)
+          open_ := false
+      | Trace.Drop _ | Trace.Duplicate _ | Trace.Delayed _ | Trace.Link_down _
+      | Trace.Crash _ ->
+          Alcotest.fail "fault event in a fault-free run")
     events;
   check Alcotest.int "all rounds traced" stats.Simulator.rounds !current
 
