@@ -1,0 +1,365 @@
+(* Simulator macro-benchmarks: whole protocol runs through the CONGEST
+   core, reported as allocation (the quantity the CSR message plane
+   exists to kill) plus wall time. Four workloads — graph-flood
+   broadcast, synchronous BFS, part-wise aggregation under the enforced
+   model, and the Theorem 1.5 distributed construction — each on grid /
+   k-tree / lower-bound topologies at two sizes.
+
+   The broadcast workload additionally runs bit-identically on the
+   retained reference core (Simulator_ref), and the report carries the
+   minor-heap ratio between the two — the headline number CI asserts
+   stays >= 3x.
+
+   Allocation words per run are deterministic for a fixed code path,
+   which is what makes them CI-gateable where timings are not:
+
+     sim_bench.exe [--quick] [--out PATH] [--check BASELINE.json]
+
+   --quick     small sizes only, one measured iteration (the CI mode)
+   --out       where to write the lcs-bench-simulator/1 report
+               (default BENCH_simulator.json)
+   --check     compare minor-heap words per benchmark against a previous
+               report and exit non-zero on a >25% regression *)
+
+open Core
+
+(* --- workloads --------------------------------------------------------- *)
+
+(* Graph flood: the root's token reaches every node; each node forwards on
+   every port exactly once. 2m messages over eccentricity(root)+1 rounds —
+   the densest per-round traffic the 1-word model allows. The per-node
+   forwarding lists are precomputed (a routing-table pattern), and the
+   state is an immediate int, so the measured loop is the simulator core
+   plus only the inbox lists its API mandates. States: 0 = waiting,
+   1 = has the token, 2 = forwarded and halted. *)
+let flood_program g ~root =
+  let outboxes =
+    Array.init (Graph.n g) (fun v ->
+        List.init (Graph.degree g v) (fun p -> (p, 1)))
+  in
+  {
+    Simulator.init = (fun ctx -> if ctx.Simulator.node = root then 1 else 0);
+    on_round =
+      (fun ctx st ~inbox ->
+        let st = if st = 0 && inbox <> [] then 1 else st in
+        if st = 1 then (2, outboxes.(ctx.Simulator.node)) else (st, []));
+    is_halted = (fun st -> st = 2);
+    msg_words = (fun _ -> 1);
+  }
+
+(* --- measurement ------------------------------------------------------- *)
+
+type sample = { minor_words : float; promoted_words : float; seconds : float }
+
+let measure ~iters f =
+  ignore (f ());
+  (* warm-up: buffers reach their high-water marks *)
+  Gc.full_major ();
+  (* Gc.minor_words () is the precise allocation counter; quick_stat's
+     copy only advances at minor-collection boundaries. *)
+  let mw0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  let t1 = Sys.time () in
+  let s1 = Gc.quick_stat () in
+  let mw1 = Gc.minor_words () in
+  let per x0 x1 = (x1 -. x0) /. float_of_int iters in
+  {
+    minor_words = per mw0 mw1;
+    promoted_words = per s0.Gc.promoted_words s1.Gc.promoted_words;
+    seconds = per t0 t1;
+  }
+
+(* --- the benchmark matrix ---------------------------------------------- *)
+
+(* [prepare] builds the inputs (outside any timer) and returns the run
+   thunk; entries are prepared only when selected, so quick mode never
+   pays for the large sizes. *)
+type entry = { name : string; large : bool; prepare : unit -> unit -> unit }
+
+(* Broadcast entries also expose the same program on the reference core. *)
+type bcast = { bname : string; blarge : bool; bprepare : unit -> (unit -> unit) * (unit -> unit) }
+
+let graph_families =
+  [
+    (* name, large?, graph builder *)
+    ("grid16", false, fun () -> Generators.grid ~rows:16 ~cols:16);
+    ("grid28", true, fun () -> Generators.grid ~rows:28 ~cols:28);
+    ("ktree300", false, fun () -> Generators.k_tree (Rng.create 7) ~k:6 ~n:300);
+    ("ktree700", true, fun () -> Generators.k_tree (Rng.create 7) ~k:6 ~n:700);
+    ("lbg5_12", false, fun () -> (Lower_bound_graph.create ~delta':5 ~d':12).Lower_bound_graph.graph);
+    ("lbg5_30", true, fun () -> (Lower_bound_graph.create ~delta':5 ~d':30).Lower_bound_graph.graph);
+  ]
+
+let broadcasts : bcast list =
+  List.map
+    (fun (name, large, build) ->
+      {
+        bname = name;
+        blarge = large;
+        bprepare =
+          (fun () ->
+            let g = build () in
+            let program = flood_program g ~root:0 in
+            ( (fun () -> ignore (Simulator.run_outcome g program)),
+              fun () -> ignore (Simulator_ref.run_outcome g program) ));
+      })
+    graph_families
+
+let sync_bfs_entries =
+  List.map
+    (fun (name, large, build) ->
+      {
+        name = "sync_bfs/" ^ name;
+        large;
+        prepare =
+          (fun () ->
+            let g = build () in
+            fun () -> ignore (Sync_bfs.run g ~root:0));
+      })
+    graph_families
+
+(* Part-wise aggregation wants a full shortcut; each family carries its
+   natural partition (grid rows, Voronoi cells, the lower-bound rows). *)
+let partwise_entries =
+  let make name large shortcut_builder =
+    {
+      name = "partwise/" ^ name;
+      large;
+      prepare =
+        (fun () ->
+          let sc = shortcut_builder () in
+          let n = Graph.n (Shortcut.graph sc) in
+          let values = Array.init n (fun v -> (v * 131) mod 65_521) in
+          fun () -> ignore (Sim_aggregate.minimum (Rng.create 17) sc ~values));
+    }
+  in
+  let boosted g parts =
+    let tree = Bfs.tree g ~root:0 in
+    (Boost.full parts ~tree).Boost.shortcut
+  in
+  [
+    make "grid16" false (fun () ->
+        let g = Generators.grid ~rows:16 ~cols:16 in
+        boosted g (Partition.grid_rows g ~rows:16 ~cols:16));
+    make "grid28" true (fun () ->
+        let g = Generators.grid ~rows:28 ~cols:28 in
+        boosted g (Partition.grid_rows g ~rows:28 ~cols:28));
+    make "ktree300" false (fun () ->
+        let g = Generators.k_tree (Rng.create 7) ~k:6 ~n:300 in
+        boosted g (Partition.voronoi g (Rng.create 8) ~parts:10));
+    make "ktree700" true (fun () ->
+        let g = Generators.k_tree (Rng.create 7) ~k:6 ~n:700 in
+        boosted g (Partition.voronoi g (Rng.create 8) ~parts:20));
+    make "lbg5_12" false (fun () ->
+        let lbg = Lower_bound_graph.create ~delta':5 ~d':12 in
+        boosted lbg.Lower_bound_graph.graph lbg.Lower_bound_graph.parts);
+    make "lbg5_30" true (fun () ->
+        let lbg = Lower_bound_graph.create ~delta':5 ~d':30 in
+        boosted lbg.Lower_bound_graph.graph lbg.Lower_bound_graph.parts);
+  ]
+
+(* The distributed construction is the heaviest simulator client (BFS +
+   detection waves); sizes stay modest to keep full mode under a minute. *)
+let distributed_entries =
+  let make name large partition_builder =
+    {
+      name = "distributed/" ^ name;
+      large;
+      prepare =
+        (fun () ->
+          let parts = partition_builder () in
+          fun () -> ignore (Distributed.construct ~seed:3 parts ~root:0));
+    }
+  in
+  [
+    make "grid8" false (fun () ->
+        let g = Generators.grid ~rows:8 ~cols:8 in
+        Partition.grid_rows g ~rows:8 ~cols:8);
+    make "grid12" true (fun () ->
+        let g = Generators.grid ~rows:12 ~cols:12 in
+        Partition.grid_rows g ~rows:12 ~cols:12);
+    make "ktree120" false (fun () ->
+        let g = Generators.k_tree (Rng.create 7) ~k:4 ~n:120 in
+        Partition.voronoi g (Rng.create 8) ~parts:8);
+    make "ktree240" true (fun () ->
+        let g = Generators.k_tree (Rng.create 7) ~k:4 ~n:240 in
+        Partition.voronoi g (Rng.create 8) ~parts:12);
+    make "lbg5_12" false (fun () ->
+        (Lower_bound_graph.create ~delta':5 ~d':12).Lower_bound_graph.parts);
+    make "lbg5_30" true (fun () ->
+        (Lower_bound_graph.create ~delta':5 ~d':30).Lower_bound_graph.parts);
+  ]
+
+(* --- report ------------------------------------------------------------ *)
+
+let schema = "lcs-bench-simulator/1"
+
+let sample_json s =
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.minor_words);
+      ("promoted_words", Json.Float s.promoted_words);
+      ("seconds_per_run", Json.Float s.seconds);
+    ]
+
+let run_suite ~quick ~iters =
+  let selected l = List.filter (fun e -> (not quick) || not e.large) l in
+  let bench_rows = ref [] in
+  let ratio_rows = ref [] in
+  let agg_csr = ref 0. in
+  let agg_ref = ref 0. in
+  List.iter
+    (fun b ->
+      if (not quick) || not b.blarge then begin
+        let csr, ref_ = b.bprepare () in
+        let s_csr = measure ~iters csr in
+        let s_ref = measure ~iters ref_ in
+        let ratio = s_ref.minor_words /. Float.max 1. s_csr.minor_words in
+        agg_csr := !agg_csr +. s_csr.minor_words;
+        agg_ref := !agg_ref +. s_ref.minor_words;
+        Printf.printf "broadcast/%-10s  csr %10.0f w  ref %10.0f w  ratio %5.2fx\n%!"
+          b.bname s_csr.minor_words s_ref.minor_words ratio;
+        bench_rows := ("broadcast/" ^ b.bname, sample_json s_csr) :: !bench_rows;
+        ratio_rows :=
+          ( b.bname,
+            Json.Obj
+              [
+                ("csr_minor_words", Json.Float s_csr.minor_words);
+                ("ref_minor_words", Json.Float s_ref.minor_words);
+                ("ratio", Json.Float ratio);
+              ] )
+          :: !ratio_rows
+      end)
+    broadcasts;
+  let aggregate = !agg_ref /. Float.max 1. !agg_csr in
+  Printf.printf "broadcast aggregate ratio (ref/csr minor words): %.2fx\n%!" aggregate;
+  ratio_rows :=
+    ( "aggregate",
+      Json.Obj
+        [
+          ("csr_minor_words", Json.Float !agg_csr);
+          ("ref_minor_words", Json.Float !agg_ref);
+          ("ratio", Json.Float aggregate);
+        ] )
+    :: !ratio_rows;
+  List.iter
+    (fun e ->
+      let f = e.prepare () in
+      let s = measure ~iters f in
+      Printf.printf "%-20s  %12.0f w  %8.2f ms\n%!" e.name s.minor_words
+        (s.seconds *. 1e3);
+      bench_rows := (e.name, sample_json s) :: !bench_rows)
+    (selected (sync_bfs_entries @ partwise_entries @ distributed_entries));
+  ( Json.Obj
+      [
+        ("schema", Json.String schema);
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ("unit", Json.String "words/run");
+        ("benchmarks", Json.Obj (List.rev !bench_rows));
+        ("broadcast_vs_ref", Json.Obj (List.rev !ratio_rows));
+      ],
+    List.rev !bench_rows,
+    aggregate )
+
+(* --- baseline gate ----------------------------------------------------- *)
+
+(* A regression is a benchmark whose minor-heap words grew more than 25%
+   over the checked-in baseline (with a 4096-word absolute floor so
+   near-zero benches don't trip on constant noise). *)
+let check_against ~baseline_path bench_rows =
+  let contents =
+    let ic = open_in baseline_path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  match Json.of_string contents with
+  | Error e ->
+      Printf.eprintf "cannot parse baseline %s: %s\n" baseline_path e;
+      exit 2
+  | Ok doc ->
+      let baseline_minor name =
+        match Json.member "benchmarks" doc with
+        | Some benches -> (
+            match Json.member name benches with
+            | Some b -> (
+                match Json.member "minor_words" b with
+                | Some (Json.Float f) -> Some f
+                | Some (Json.Int i) -> Some (float_of_int i)
+                | _ -> None)
+            | None -> None)
+        | None -> None
+      in
+      let regressions = ref [] in
+      List.iter
+        (fun (name, sample) ->
+          let current =
+            match Json.member "minor_words" sample with
+            | Some (Json.Float f) -> f
+            | _ -> 0.
+          in
+          match baseline_minor name with
+          | None -> Printf.printf "check: %s not in baseline, skipped\n" name
+          | Some base ->
+              if current > (base *. 1.25) +. 4096. then
+                regressions := (name, base, current) :: !regressions
+              else
+                Printf.printf "check: %-20s %10.0f -> %10.0f w (ok)\n" name base current)
+        bench_rows;
+      if !regressions <> [] then begin
+        List.iter
+          (fun (name, base, current) ->
+            Printf.eprintf
+              "ALLOCATION REGRESSION: %s grew %.0f -> %.0f minor words (>25%%)\n" name
+              base current)
+          !regressions;
+        exit 1
+      end
+
+(* --- entry point ------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_simulator.json" in
+  let baseline = ref "" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--check" :: path :: rest ->
+        baseline := path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: sim_bench [--quick] [--out PATH] [--check BASELINE]\n";
+        Printf.eprintf "unknown argument: %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let iters = if !quick then 1 else 3 in
+  let doc, bench_rows, aggregate = run_suite ~quick:!quick ~iters in
+  let oc = open_out !out in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !out;
+  if !baseline <> "" then begin
+    (* Gating mode: the CSR core's headline claim — >= 3x fewer minor-heap
+       words than the reference core on the broadcast macro-bench — is
+       asserted, not just reported. *)
+    if aggregate < 3.0 then begin
+      Printf.eprintf
+        "FAIL: aggregate broadcast allocation ratio %.2fx is below the 3x target\n"
+        aggregate;
+      exit 1
+    end;
+    check_against ~baseline_path:!baseline bench_rows
+  end

@@ -168,8 +168,7 @@ let run_outcome ?max_rounds ?tracer ?faults ?(reliable = true) ?config g info ~v
     Array.iter
       (fun p ->
         if states.(v).got.(p) then begin
-          let ctx_nbrs = Lcs_graph.Graph.adj_list g v in
-          let w = fst (List.nth ctx_nbrs p) in
+          let w = fst (Lcs_graph.Graph.ports g v).(p) in
           included.(w) <- true;
           visit w
         end)

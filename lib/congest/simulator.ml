@@ -1,4 +1,28 @@
+(* The simulator's message plane lives on flat, preallocated arrays:
+
+   - A CSR port layout built once from the graph: [port_offset] (length
+     n+1) indexes into flat [port_neighbor]/[port_edge]/[port_reverse]
+     arrays, so every per-message lookup — destination, host edge id,
+     return port — is one int-array read, with no tuple keys and no
+     polymorphic hashing anywhere on the hot path.
+   - Per-round, per-port word budgets as a single int array indexed by
+     [port_offset.(v) + port], cleared between rounds via a touched-slot
+     scratch list instead of reallocating.
+   - Inboxes as reusable growable buffers (Lcs_util.Vec) holding ports and
+     payloads in parallel, double-buffered across rounds; the only
+     steady-state allocation per delivered message is the (port, msg) list
+     the program API requires.
+   - The delayed-delivery queue (faults only) as a ring buffer keyed by
+     arrival round modulo a span derived from the fault plan's maximum
+     delay, replacing a Hashtbl keyed by absolute round.
+
+   Semantics are bit-identical to Simulator_ref — same statistics, same
+   trace event order, same fault behavior — which the differential qcheck
+   suite (test/test_sim_diff.ml) enforces. Any observable change must land
+   in both cores together. *)
+
 module Graph = Lcs_graph.Graph
+module Vec = Lcs_util.Vec
 
 type ctx = {
   node : int;
@@ -37,46 +61,125 @@ type 'state run_result =
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 exception Round_limit of int
 
-let make_ctx g v =
-  let adj = Graph.adj_list g v in
-  {
-    node = v;
-    neighbors = Array.of_list (List.map fst adj);
-    neighbor_edges = Array.of_list (List.map snd adj);
-  }
+(* CSR port layout. Slot [port_offset.(v) + p] describes port [p] of node
+   [v]; [port_reverse] holds the local port index at the neighbor that
+   leads back, so delivery is one array read. *)
+type csr = {
+  port_offset : int array;  (* length n+1; prefix sums of degrees *)
+  port_neighbor : int array;
+  port_edge : int array;
+  port_reverse : int array;
+}
 
-(* reverse_ports.(v).(p) is the port at neighbor [w = neighbors.(p)] that
-   leads back to [v]; precomputed so delivery is O(1) per message. *)
-let reverse_ports ctxs =
-  let n = Array.length ctxs in
-  let port_of_edge = Hashtbl.create (4 * n) in
-  Array.iteri
-    (fun v ctx ->
-      Array.iteri (fun p e -> Hashtbl.replace port_of_edge (v, e) p) ctx.neighbor_edges)
-    ctxs;
-  Array.map
-    (fun ctx ->
-      Array.mapi
-        (fun p w -> Hashtbl.find port_of_edge (w, ctx.neighbor_edges.(p)))
-        ctx.neighbors)
-    ctxs
+let build_csr g =
+  let n = Graph.n g in
+  let port_offset = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    port_offset.(v + 1) <- port_offset.(v) + Graph.degree g v
+  done;
+  let total = port_offset.(n) in
+  let port_neighbor = Array.make total 0 in
+  let port_edge = Array.make total 0 in
+  let port_reverse = Array.make total 0 in
+  (* Each edge occupies exactly two slots; link them as the second one is
+     filled. *)
+  let first_slot = Array.make (Graph.m g) (-1) in
+  for v = 0 to n - 1 do
+    let row = Graph.ports g v in
+    let off = port_offset.(v) in
+    Array.iteri
+      (fun p (w, e) ->
+        let s = off + p in
+        port_neighbor.(s) <- w;
+        port_edge.(s) <- e;
+        let s1 = first_slot.(e) in
+        if s1 < 0 then first_slot.(e) <- s
+        else begin
+          port_reverse.(s) <- s1 - port_offset.(w);
+          port_reverse.(s1) <- p
+        end)
+      row
+  done;
+  { port_offset; port_neighbor; port_edge; port_reverse }
+
+(* Materialize the (port, msg) inbox list the program API expects, in
+   arrival order, from the parallel port/payload buffers. Top-level so the
+   per-node, per-round call allocates only the list itself. *)
+let rec build_inbox ports msgs i acc =
+  if i < 0 then acc
+  else build_inbox ports msgs (i - 1) ((Vec.get ports i, Vec.get msgs i) :: acc)
+
+(* A delivery parked in the delayed ring. Source, edge and size ride along
+   so a crash-time purge can report exactly what it discarded. *)
+type 'msg pending = {
+  p_dst : int;
+  p_port : int;
+  p_src : int;
+  p_edge : int;
+  p_words : int;
+  p_msg : 'msg;
+}
 
 let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g program =
   if bandwidth < 1 then invalid_arg "Simulator.run: bandwidth";
   let n = Graph.n g in
-  let ctxs = Array.init n (make_ctx g) in
-  let rev = reverse_ports ctxs in
+  let csr = build_csr g in
+  let ctxs =
+    Array.init n (fun v ->
+        let off = csr.port_offset.(v) in
+        let len = csr.port_offset.(v + 1) - off in
+        {
+          node = v;
+          neighbors = Array.sub csr.port_neighbor off len;
+          neighbor_edges = Array.sub csr.port_edge off len;
+        })
+  in
   let states = Array.map program.init ctxs in
   let halted = Array.map program.is_halted states in
   let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
-  (* inboxes.(v) holds (port, msg) in reversed arrival order. *)
-  let inboxes : (int * 'msg) list array = Array.make n [] in
-  let next_inboxes : (int * 'msg) list array = Array.make n [] in
-  (* Fault bookkeeping; untouched (and unallocated beyond the array) when
-     [faults] is absent, so the fault-free path stays byte-identical. *)
+  (* Inboxes as parallel (port, payload) buffers, double-buffered: [cur_*]
+     is read this round, [nxt_*] collects deliveries for the next; the
+     references swap at the round boundary. Capacity hints of [degree v]
+     make the single lazy storage allocation exactly-sized for the common
+     bandwidth-1 case (at most one arrival per port per round), and the
+     buffers are cleared, never reallocated, so the steady state allocates
+     nothing here. *)
+  let inbox_vecs () =
+    Array.init n (fun v ->
+        Vec.create ~capacity:(csr.port_offset.(v + 1) - csr.port_offset.(v)) ())
+  in
+  let cur_ports = ref (inbox_vecs ()) in
+  let cur_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
+  let nxt_ports = ref (inbox_vecs ()) in
+  let nxt_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
+  (* Per-round, per-port word budget, flat. [touched] remembers which
+     slots are dirty so the end-of-round clear is O(messages), not
+     O(ports). *)
+  let total_ports = csr.port_offset.(n) in
+  let budget = Array.make (max 1 total_ports) 0 in
+  let touched = Array.make (max 1 total_ports) 0 in
+  let n_touched = ref 0 in
+  (* Fault bookkeeping; unallocated beyond the flag array when [faults] is
+     absent. *)
   let crashed = Array.make n false in
-  (* arrival round -> (dst, port, msg) in reversed scheduling order *)
-  let delayed : (int, (int * int * 'msg) list) Hashtbl.t = Hashtbl.create 16 in
+  (* Delayed deliveries in a ring keyed by arrival round mod [ring_span].
+     A verdict's extra latency is at most plan delay + 1 (reorder) + 1
+     (duplicate tail), and arrival is [round + 1 + latency], so a span of
+     max-delay + 4 strictly covers every pending slot — no two in-flight
+     arrival rounds can collide. *)
+  let ring_span =
+    match faults with
+    | None -> 0
+    | Some inj ->
+        let plan = Fault.plan inj in
+        let maxd =
+          List.fold_left
+            (fun acc (_, f) -> max acc f.Fault.delay)
+            plan.Fault.default.Fault.delay plan.Fault.edges
+        in
+        maxd + 4
+  in
+  let ring : 'msg pending Vec.t array = Array.init ring_span (fun _ -> Vec.create ()) in
   let rounds = ref 0 in
   let messages = ref 0 in
   let words = ref 0 in
@@ -85,6 +188,139 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
      pays one branch per message and nothing else. *)
   let round_max = ref 0 in
   let out_of_rounds = ref false in
+  (* A crashed node's pending delayed deliveries are discarded with it:
+     each one is traced as a Drop and counted against the injector, in
+     ascending arrival-round then scheduling order, so the trace never
+     shows traffic consumed by a dead node. *)
+  let purge_delayed_to inj v ~round =
+    for dr = 0 to ring_span - 1 do
+      let slot = ring.((round + dr) mod ring_span) in
+      if Vec.length slot > 0 then begin
+        let keep = ref 0 in
+        for i = 0 to Vec.length slot - 1 do
+          let p = Vec.get slot i in
+          if p.p_dst = v then begin
+            Fault.note_to_crashed inj;
+            match tracer with
+            | None -> ()
+            | Some t ->
+                t (Trace.Drop { round; src = p.p_src; dst = v; edge = p.p_edge; words = p.p_words })
+          end
+          else begin
+            Vec.set slot !keep p;
+            incr keep
+          end
+        done;
+        Vec.truncate slot !keep
+      end
+    done
+  in
+  (* Send a node's outbox. One recursive function allocated once per run —
+     a per-node closure here would dominate the allocation profile the CSR
+     plane exists to flatten. *)
+  let rec deliver v base outbox =
+    match outbox with
+    | [] -> ()
+    | (port, msg) :: rest ->
+        let ctx = ctxs.(v) in
+        if port < 0 || port >= Array.length ctx.neighbors then
+          invalid_arg "Simulator: bad port";
+        let size = program.msg_words msg in
+        if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
+        let slot = base + port in
+        let prev = budget.(slot) in
+        let used = prev + size in
+        if used > bandwidth then
+          raise
+            (Bandwidth_exceeded
+               { node = v; port; round = !rounds; words = used; limit = bandwidth });
+        if prev = 0 then begin
+          touched.(!n_touched) <- slot;
+          incr n_touched
+        end;
+        budget.(slot) <- used;
+        if used > !max_edge_load then max_edge_load := used;
+        let w = csr.port_neighbor.(slot) in
+        let back = csr.port_reverse.(slot) in
+        let edge = csr.port_edge.(slot) in
+        (match faults with
+        | None ->
+            incr messages;
+            words := !words + size;
+            (match tracer with
+            | None -> ()
+            | Some t ->
+                if used > !round_max then round_max := used;
+                t (Trace.Send { round = !rounds; src = v; dst = w; edge; words = size }));
+            Vec.push (!nxt_ports).(w) back;
+            Vec.push (!nxt_msgs).(w) msg
+        | Some inj ->
+            (* The transmission consumed its slot on the wire either way
+               (the budget above); what the network then does to it is the
+               injector's verdict. *)
+            if crashed.(w) then begin
+              Fault.note_to_crashed inj;
+              match tracer with
+              | None -> ()
+              | Some t ->
+                  if used > !round_max then round_max := used;
+                  t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size })
+            end
+            else begin
+              match Fault.transmission inj ~round:!rounds ~edge with
+              | Fault.Lose Fault.Random_loss -> (
+                  match tracer with
+                  | None -> ()
+                  | Some t ->
+                      if used > !round_max then round_max := used;
+                      t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size }))
+              | Fault.Lose Fault.Link_is_down -> (
+                  match tracer with
+                  | None -> ()
+                  | Some t ->
+                      if used > !round_max then round_max := used;
+                      t (Trace.Link_down { round = !rounds; edge }))
+              | Fault.Deliver delays ->
+                  List.iteri
+                    (fun i delay ->
+                      incr messages;
+                      words := !words + size;
+                      (match tracer with
+                      | None -> ()
+                      | Some t ->
+                          if used > !round_max then round_max := used;
+                          if i = 0 then
+                            t
+                              (Trace.Send
+                                 { round = !rounds; src = v; dst = w; edge; words = size })
+                          else
+                            t
+                              (Trace.Duplicate
+                                 { round = !rounds; src = v; dst = w; edge; words = size });
+                          if delay > 0 then
+                            t
+                              (Trace.Delayed
+                                 { round = !rounds; src = v; dst = w; edge; delay }));
+                      if delay = 0 then begin
+                        Vec.push (!nxt_ports).(w) back;
+                        Vec.push (!nxt_msgs).(w) msg
+                      end
+                      else
+                        let at = !rounds + 1 + delay in
+                        Vec.push
+                          ring.(at mod ring_span)
+                          {
+                            p_dst = w;
+                            p_port = back;
+                            p_src = v;
+                            p_edge = edge;
+                            p_words = size;
+                            p_msg = msg;
+                          })
+                    delays
+            end);
+        deliver v base rest
+  in
   (* A node with an empty inbox whose last round produced no messages would
      never change state again only if its program is quiescent; we cannot
      know that, so we keep stepping until is_halted. *)
@@ -107,123 +343,36 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
               if v >= 0 && v < n && not crashed.(v) then begin
                 crashed.(v) <- true;
                 if not halted.(v) then decr live;
-                inboxes.(v) <- [];
-                match tracer with
+                Vec.clear (!cur_ports).(v);
+                Vec.clear (!cur_msgs).(v);
+                (match tracer with
                 | None -> ()
-                | Some t -> t (Trace.Crash { round = !rounds; node = v })
+                | Some t -> t (Trace.Crash { round = !rounds; node = v }));
+                purge_delayed_to inj v ~round:!rounds
               end)
             (Fault.crashes_at inj ~round:!rounds);
           (* Deliveries whose extra latency expires this round join the
              inboxes after the synchronous ones. *)
-          match Hashtbl.find_opt delayed !rounds with
-          | None -> ()
-          | Some arrivals ->
-              Hashtbl.remove delayed !rounds;
-              List.iter
-                (fun (dst, port, msg) ->
-                  if not (halted.(dst) || crashed.(dst)) then
-                    inboxes.(dst) <- (port, msg) :: inboxes.(dst))
-                (List.rev arrivals));
-      (* Per-round, per-(node, port) word budget. *)
-      let budget = Hashtbl.create 64 in
+          if ring_span > 0 then begin
+            let slot = ring.(!rounds mod ring_span) in
+            Vec.iter
+              (fun p ->
+                if not (halted.(p.p_dst) || crashed.(p.p_dst)) then begin
+                  Vec.push (!cur_ports).(p.p_dst) p.p_port;
+                  Vec.push (!cur_msgs).(p.p_dst) p.p_msg
+                end)
+              slot;
+            Vec.clear slot
+          end);
       for v = 0 to n - 1 do
+        let ports_v = (!cur_ports).(v) and msgs_v = (!cur_msgs).(v) in
         if not (halted.(v) || crashed.(v)) then begin
-          let inbox = List.rev inboxes.(v) in
-          inboxes.(v) <- [];
+          let inbox = build_inbox ports_v msgs_v (Vec.length ports_v - 1) [] in
+          Vec.clear ports_v;
+          Vec.clear msgs_v;
           let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
           states.(v) <- state;
-          List.iter
-            (fun (port, msg) ->
-              let ctx = ctxs.(v) in
-              if port < 0 || port >= Array.length ctx.neighbors then
-                invalid_arg "Simulator: bad port";
-              let size = program.msg_words msg in
-              if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
-              let key = (v, port) in
-              let used = match Hashtbl.find_opt budget key with Some u -> u | None -> 0 in
-              let used = used + size in
-              if used > bandwidth then
-                raise
-                  (Bandwidth_exceeded
-                     { node = v; port; round = !rounds; words = used; limit = bandwidth });
-              Hashtbl.replace budget key used;
-              if used > !max_edge_load then max_edge_load := used;
-              let w = ctx.neighbors.(port) in
-              let back = rev.(v).(port) in
-              let edge = ctx.neighbor_edges.(port) in
-              match faults with
-              | None ->
-                  incr messages;
-                  words := !words + size;
-                  (match tracer with
-                  | None -> ()
-                  | Some t ->
-                      if used > !round_max then round_max := used;
-                      t (Trace.Send { round = !rounds; src = v; dst = w; edge; words = size }));
-                  next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
-              | Some inj ->
-                  (* The transmission consumed its slot on the wire either
-                     way (the budget above); what the network then does to
-                     it is the injector's verdict. *)
-                  if crashed.(w) then begin
-                    Fault.note_to_crashed inj;
-                    match tracer with
-                    | None -> ()
-                    | Some t ->
-                        if used > !round_max then round_max := used;
-                        t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size })
-                  end
-                  else begin
-                    match Fault.transmission inj ~round:!rounds ~edge with
-                    | Fault.Lose Fault.Random_loss -> (
-                        match tracer with
-                        | None -> ()
-                        | Some t ->
-                            if used > !round_max then round_max := used;
-                            t
-                              (Trace.Drop
-                                 { round = !rounds; src = v; dst = w; edge; words = size }))
-                    | Fault.Lose Fault.Link_is_down -> (
-                        match tracer with
-                        | None -> ()
-                        | Some t ->
-                            if used > !round_max then round_max := used;
-                            t (Trace.Link_down { round = !rounds; edge }))
-                    | Fault.Deliver delays ->
-                        List.iteri
-                          (fun i delay ->
-                            incr messages;
-                            words := !words + size;
-                            (match tracer with
-                            | None -> ()
-                            | Some t ->
-                                if used > !round_max then round_max := used;
-                                if i = 0 then
-                                  t
-                                    (Trace.Send
-                                       { round = !rounds; src = v; dst = w; edge; words = size })
-                                else
-                                  t
-                                    (Trace.Duplicate
-                                       { round = !rounds; src = v; dst = w; edge; words = size });
-                                if delay > 0 then
-                                  t
-                                    (Trace.Delayed
-                                       { round = !rounds; src = v; dst = w; edge; delay }));
-                            if delay = 0 then
-                              next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
-                            else begin
-                              let at = !rounds + 1 + delay in
-                              let pending =
-                                match Hashtbl.find_opt delayed at with
-                                | Some l -> l
-                                | None -> []
-                              in
-                              Hashtbl.replace delayed at ((w, back, msg) :: pending)
-                            end)
-                          delays
-                  end)
-            outbox;
+          deliver v csr.port_offset.(v) outbox;
           if program.is_halted state then begin
             halted.(v) <- true;
             decr live;
@@ -232,12 +381,21 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
             | Some t -> t (Trace.Halt { round = !rounds; node = v })
           end
         end
-        else inboxes.(v) <- []
+        else begin
+          Vec.clear ports_v;
+          Vec.clear msgs_v
+        end
       done;
-      for v = 0 to n - 1 do
-        inboxes.(v) <- next_inboxes.(v);
-        next_inboxes.(v) <- []
+      for i = 0 to !n_touched - 1 do
+        budget.(touched.(i)) <- 0
       done;
+      n_touched := 0;
+      let tp = !cur_ports in
+      cur_ports := !nxt_ports;
+      nxt_ports := tp;
+      let tm = !cur_msgs in
+      cur_msgs := !nxt_msgs;
+      nxt_msgs := tm;
       match tracer with
       | None -> ()
       | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })

@@ -102,10 +102,19 @@ val run :
     {!Fault.t}: transmissions may be dropped, duplicated or delayed, links
     go down for scheduled intervals, and nodes crash at scheduled rounds
     (a crashed node stops stepping, sending and receiving; messages
-    addressed to it are silently lost, traced as [Drop]). Faults never
+    addressed to it are lost and traced as [Drop] — including pending
+    {e delayed} deliveries, which are purged and reported the moment the
+    destination crashes rather than lingering in the queue). Faults never
     bypass bandwidth accounting — a dropped transmission still consumed
-    its slot on the wire. When [faults] is absent the run takes the exact
-    historical code path, byte for byte. *)
+    its slot on the wire.
+
+    The message plane runs on flat preallocated arrays (a CSR port layout
+    built once from the graph, int-array word budgets cleared via a
+    touched-slot list, reusable inbox buffers); a fault-free steady-state
+    round allocates only the inbox lists the [on_round] API requires. The
+    retained reference core {!Simulator_ref} preserves the historical
+    implementation; the test suite proves the two produce identical
+    statistics, traces and outcomes. *)
 
 val run_profiled :
   ?bandwidth:int ->

@@ -135,7 +135,7 @@ let parents_of_states g states =
   Array.iteri
     (fun v st ->
       if st.parent_port >= 0 then begin
-        let adj = Array.of_list (Graph.adj_list g v) in
+        let adj = Graph.ports g v in
         let w, e = adj.(st.parent_port) in
         parent.(v) <- w;
         parent_edge.(v) <- e

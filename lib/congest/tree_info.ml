@@ -18,7 +18,7 @@ let of_tree g tree =
   let nodes =
     Array.init n (fun v ->
         let parent = Rooted_tree.parent tree v in
-        let adj = Array.of_list (Graph.adj_list g v) in
+        let adj = Graph.ports g v in
         let parent_port = ref (-1) in
         let child_ports = ref [] in
         Array.iteri

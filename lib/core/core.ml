@@ -11,6 +11,7 @@ module Table = Lcs_util.Table
 module Bitset = Lcs_util.Bitset
 module Pqueue = Lcs_util.Pqueue
 module Json = Lcs_util.Json
+module Vec = Lcs_util.Vec
 
 (* Graphs *)
 module Graph = Lcs_graph.Graph
@@ -30,6 +31,7 @@ module Graph_io = Lcs_graph.Graph_io
 
 (* CONGEST simulator *)
 module Simulator = Lcs_congest.Simulator
+module Simulator_ref = Lcs_congest.Simulator_ref
 module Trace = Lcs_congest.Trace
 module Fault = Lcs_congest.Fault
 module Reliable = Lcs_congest.Reliable

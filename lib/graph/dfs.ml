@@ -9,7 +9,7 @@ let lowlink_scan g ~on_bridge ~on_articulation =
   let tin = Array.make n (-1) in
   let low = Array.make n 0 in
   let clock = ref 0 in
-  let adj = Array.init n (fun v -> Array.of_list (Graph.adj_list g v)) in
+  let adj = Array.init n (Graph.ports g) in
   for root = 0 to n - 1 do
     if tin.(root) < 0 then begin
       let root_children = ref 0 in
@@ -56,7 +56,7 @@ let preorder g ~root =
   if root < 0 || root >= n then invalid_arg "Dfs.preorder";
   let order = Array.make n (-1) in
   let clock = ref 0 in
-  let adj = Array.init n (fun v -> Array.of_list (Graph.adj_list g v)) in
+  let adj = Array.init n (Graph.ports g) in
   let stack = ref [ (root, ref 0) ] in
   order.(root) <- !clock;
   incr clock;

@@ -54,6 +54,7 @@ let fold_adj g v f init =
   Array.fold_left (fun acc (w, e) -> f acc w e) init g.adj.(v)
 
 let adj_list g v = Array.to_list g.adj.(v)
+let ports g v = g.adj.(v)
 let edge_endpoints g e = g.ends.(e)
 
 let other_endpoint g ~edge v =
@@ -62,13 +63,16 @@ let other_endpoint g ~edge v =
   else if v = w then u
   else invalid_arg "Graph.other_endpoint: vertex not on edge"
 
+exception Found of int
+
 let find_edge g u v =
   if u = v || u < 0 || u >= g.n || v < 0 || v >= g.n then None
   else
     let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
-    let result = ref None in
-    Array.iter (fun (w, e) -> if w = b && !result = None then result := Some e) g.adj.(a);
-    !result
+    try
+      Array.iter (fun (w, e) -> if w = b then raise_notrace (Found e)) g.adj.(a);
+      None
+    with Found e -> Some e
 
 let mem_edge g u v = find_edge g u v <> None
 

@@ -35,6 +35,12 @@ val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
 val adj_list : t -> int -> (int * int) list
 (** [(neighbor, edge_id)] pairs of [v]. Fresh list. *)
 
+val ports : t -> int -> (int * int) array
+(** The raw adjacency row of [v]: [(neighbor, edge_id)] in port
+    (edge-insertion) order. O(1) and allocation-free — this is the graph's
+    own storage, so callers must treat it as read-only. Prefer this over
+    {!adj_list} on hot paths. *)
+
 val edge_endpoints : t -> int -> int * int
 (** Canonical endpoints [(u, v)], [u < v]. *)
 

@@ -45,7 +45,7 @@ let setup ?budget rng shortcut ~values =
   let port_of_edge =
     Array.init n (fun v ->
         let tbl = Hashtbl.create 8 in
-        List.iteri (fun port (_w, e) -> Hashtbl.replace tbl e port) (Graph.adj_list host v);
+        Array.iteri (fun port (_w, e) -> Hashtbl.replace tbl e port) (Graph.ports host v);
         tbl)
   in
   let part_ports : (int, int list) Hashtbl.t array =

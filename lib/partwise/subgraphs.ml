@@ -30,11 +30,11 @@ let build shortcut i =
       Graph.iter_adj host v (fun w e ->
           if v < w && Partition.part_of partition w = i then add_edge e v w))
     (Partition.members partition i);
-  List.iter
+  Array.iter
     (fun e ->
       let u, v = Graph.edge_endpoints host e in
       add_edge e u v)
-    (Shortcut.edges shortcut i);
+    (Shortcut.edges_array shortcut i);
   adj
 
 let of_shortcut shortcut =

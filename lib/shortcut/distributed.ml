@@ -195,7 +195,7 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
           (* The decision concerns v's parent edge. *)
           let port = info.Tree_info.nodes.(v).Tree_info.parent_port in
           if port >= 0 then begin
-            let adj = Array.of_list (Graph.adj_list host v) in
+            let adj = Graph.ports host v in
             Bitset.add over (snd adj.(port))
           end
         end)

@@ -18,7 +18,7 @@ let edge_load sc =
   let host = Shortcut.graph sc in
   let load = Array.make (Graph.m host) 0 in
   for i = 0 to Shortcut.k sc - 1 do
-    List.iter (fun e -> load.(e) <- load.(e) + 1) (Shortcut.edges sc i)
+    Array.iter (fun e -> load.(e) <- load.(e) + 1) (Shortcut.edges_array sc i)
   done;
   load
 
@@ -55,11 +55,11 @@ let part_subgraph sc i =
       Graph.iter_adj host v (fun w e ->
           if v < w && Partition.part_of partition w = i then add_edge e v w))
     members;
-  List.iter
+  Array.iter
     (fun e ->
       let u, v = Graph.edge_endpoints host e in
       add_edge e u v)
-    (Shortcut.edges sc i);
+    (Shortcut.edges_array sc i);
   Graph.create ~n:!fresh (List.rev !edge_list)
 
 let part_dilation ?(exact_limit = 4096) sc i =
@@ -84,13 +84,13 @@ let part_blocks sc i =
   let uf = Union_find.create (Graph.n host) in
   let involved = Hashtbl.create (2 * Array.length members) in
   Array.iter (fun v -> Hashtbl.replace involved v ()) members;
-  List.iter
+  Array.iter
     (fun e ->
       let u, v = Graph.edge_endpoints host e in
       Hashtbl.replace involved u ();
       Hashtbl.replace involved v ();
       ignore (Union_find.union uf u v))
-    (Shortcut.edges sc i);
+    (Shortcut.edges_array sc i);
   let roots = Hashtbl.create 16 in
   Hashtbl.iter (fun v () -> Hashtbl.replace roots (Union_find.find uf v) ()) involved;
   Hashtbl.length roots

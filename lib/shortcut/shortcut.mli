@@ -26,7 +26,13 @@ val k : t -> int
 (** Number of parts. *)
 
 val edges : t -> int -> int list
-(** [H_i] of part [i] (empty for uncovered parts). *)
+(** [H_i] of part [i] (empty for uncovered parts). Fresh list — a compat
+    shim over {!edges_array}; prefer the array on hot paths. *)
+
+val edges_array : t -> int -> int array
+(** [H_i] of part [i] as the shortcut's own flat storage: O(1), no
+    allocation, read-only — callers must not mutate it. This is what
+    {!Quality} folds over. *)
 
 val is_covered : t -> int -> bool
 

@@ -1,0 +1,73 @@
+(* Storage is lazy: [data] stays [||] until the first push, which sizes it
+   from [hint] and fills unused slots with that first element — so no dummy
+   value is ever required from the caller and the structure works for any
+   element type. [clear] only rewinds [len]; stale slots beyond it keep
+   their old contents (and thus their references) until overwritten or
+   [reset]. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; mutable hint : int }
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Vec.create: negative capacity";
+  { data = [||]; len = 0; hint = capacity }
+
+let length t = t.len
+let capacity t = Array.length t.data
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- x
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let cap' = if cap = 0 then max 4 t.hint else 2 * cap in
+    let data' = Array.make cap' x in
+    Array.blit t.data 0 data' 0 t.len;
+    t.data <- data'
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+
+let reset t =
+  t.len <- 0;
+  t.data <- [||]
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate: bad length";
+  t.len <- n
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in
+  build (t.len - 1) []
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list l =
+  let t = create ~capacity:(List.length l) () in
+  List.iter (push t) l;
+  t

@@ -1,0 +1,58 @@
+(** Reusable growable buffers for allocation-free inner loops.
+
+    A ['a t] is a dynamic array with amortized O(1) [push] and an O(1)
+    {!clear} that keeps the backing storage, so a buffer refilled every
+    iteration of a hot loop (the CONGEST simulator's inboxes, touched-port
+    scratch lists) allocates only while it is still discovering its
+    high-water mark and then never again. Works for any element type —
+    including unboxed [int]s, the common case — without requiring a dummy
+    element up front: storage is materialized from the first pushed value.
+
+    Not thread-safe. Indices are bounds-checked; out-of-range access
+    raises [Invalid_argument]. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty buffer. [capacity] (default 0) is a hint for the first
+    storage allocation; no storage is allocated until the first {!push}. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+(** Slots in the backing store; [length t <= capacity t]. *)
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get t i] for [0 <= i < length t]. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] for [0 <= i < length t]. *)
+
+val push : 'a t -> 'a -> unit
+(** Append, growing the backing store (doubling) when full. *)
+
+val clear : 'a t -> unit
+(** [length] becomes 0; the backing store — and any element references it
+    still holds — is retained for reuse. Use {!reset} to release it. *)
+
+val reset : 'a t -> unit
+(** [clear] plus dropping the backing store, releasing element
+    references to the GC. *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate t n] shortens to the first [n] elements ([n <= length t];
+    raises [Invalid_argument] otherwise). Storage is retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+(** Elements in index order. Fresh list. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of [length t] elements. *)
+
+val of_list : 'a list -> 'a t

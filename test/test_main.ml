@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("graph", Test_graph.suite);
       ("congest", Test_congest.suite);
+      ("sim-diff", Test_sim_diff.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
       ("shortcut", Test_shortcut.suite);

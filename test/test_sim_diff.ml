@@ -1,0 +1,271 @@
+(* Differential equivalence of the CSR simulator core (Simulator) against
+   the retained reference implementation (Simulator_ref).
+
+   The two cores must be observationally indistinguishable: identical
+   final states, statistics, trace event sequences and fault counters on
+   the same graph / program / fault plan — fault-free, faulty, traced,
+   untraced, finished and Out_of_rounds alike. The programs, graphs and
+   plans here are qcheck-generated; the program family below is a
+   deterministic "gossip" whose sends, sizes and halting rounds are all
+   hash-derived from the node's accumulated view, so any divergence in
+   delivery order or content snowballs into different states. *)
+
+open Core
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let random_connected_graph seed ~n ~extra =
+  let rng = Rng.create seed in
+  let b = Builder.create ~n in
+  for v = 1 to n - 1 do
+    Builder.add_edge b (Rng.int rng v) v
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 20 * extra do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Builder.mem_edge b u v) then begin
+      Builder.add_edge b u v;
+      incr added
+    end
+  done;
+  Builder.graph b
+
+(* --- the gossip program family ----------------------------------------- *)
+
+let mix a b =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (((a lsr 7) + b) * 0x27D4EB2F) in
+  h land 0x3FFFFFFF
+
+type gstate = { acc : int; round : int; stop : int }
+
+(* Every node gossips hash-derived payloads on a hash-chosen set of
+   distinct ports (at most one message per port per round, each of at most
+   [bw] words, so the bandwidth budget is respected by construction) and
+   halts at a hash-chosen round in [1..10]. *)
+let gossip ~pseed ~bw =
+  {
+    Simulator.init =
+      (fun ctx ->
+        {
+          acc = mix pseed ctx.Simulator.node;
+          round = 0;
+          stop = 1 + (mix pseed (ctx.Simulator.node + 13) mod 10);
+        });
+    on_round =
+      (fun ctx st ~inbox ->
+        let acc =
+          List.fold_left (fun a (p, m) -> mix a (mix (p + 1) m)) st.acc inbox
+        in
+        let round = st.round + 1 in
+        let deg = Array.length ctx.Simulator.neighbors in
+        let outbox =
+          if deg = 0 then []
+          else
+            let fanout = mix acc round mod (min deg 3 + 1) in
+            let start = mix acc (round + 31) mod deg in
+            List.init fanout (fun i ->
+                ((start + i) mod deg, mix acc (i + 977)))
+        in
+        ({ acc; round; stop = st.stop }, outbox));
+    is_halted = (fun st -> st.round >= st.stop);
+    msg_words = (fun m -> 1 + (m mod bw));
+  }
+
+(* --- generated fault plans --------------------------------------------- *)
+
+let gen_plan seed ~n ~m =
+  let rng = Rng.create (seed + 0x5EED) in
+  let gen_edge_faults () =
+    let maybe p f = if Rng.bernoulli rng p then f () else 0. in
+    {
+      Fault.drop = maybe 0.5 (fun () -> Rng.uniform01 rng *. 0.3);
+      duplicate = maybe 0.4 (fun () -> Rng.uniform01 rng *. 0.3);
+      reorder = maybe 0.4 (fun () -> Rng.uniform01 rng *. 0.3);
+      delay = (if Rng.bernoulli rng 0.4 then Rng.int rng 3 else 0);
+      down =
+        (if Rng.bernoulli rng 0.3 then
+           let lo = 1 + Rng.int rng 5 in
+           [ (lo, lo + Rng.int rng 4) ]
+         else []);
+    }
+  in
+  let overrides =
+    if m = 0 then []
+    else
+      List.init (Rng.int rng 3) (fun _ -> (Rng.int rng m, gen_edge_faults ()))
+  in
+  let crashes =
+    List.init (Rng.int rng 3) (fun _ ->
+        { Fault.node = Rng.int rng n; round = 1 + Rng.int rng 5 })
+  in
+  { Fault.seed; default = gen_edge_faults (); edges = overrides; crashes }
+
+(* --- runners ------------------------------------------------------------ *)
+
+type core = Csr | Ref
+
+(* Run one core with a recorder attached and a fresh injector; return
+   everything observable. *)
+let observe core ?bandwidth ?max_rounds ?plan g program =
+  let recorder = Trace.Recorder.create () in
+  let faults = Option.map (fun p -> Fault.compile p) plan in
+  let tracer = Trace.Recorder.tracer recorder in
+  let result =
+    match core with
+    | Csr -> Simulator.run_outcome ?bandwidth ?max_rounds ~tracer ?faults g program
+    | Ref -> Simulator_ref.run_outcome ?bandwidth ?max_rounds ~tracer ?faults g program
+  in
+  (result, Trace.Recorder.events recorder, Option.map Fault.counts faults)
+
+let same_observation (ra, ea, ca) (rb, eb, cb) =
+  let same_result =
+    match (ra, rb) with
+    | Simulator.Finished (sa, ta), Simulator.Finished (sb, tb) -> sa = sb && ta = tb
+    | Simulator.Out_of_rounds (sa, pa), Simulator.Out_of_rounds (sb, pb) ->
+        sa = sb && pa = pb
+    | _ -> false
+  in
+  same_result && ea = eb && ca = cb
+
+let cores_agree ?bandwidth ?max_rounds ?plan g program =
+  same_observation
+    (observe Csr ?bandwidth ?max_rounds ?plan g program)
+    (observe Ref ?bandwidth ?max_rounds ?plan g program)
+
+(* --- properties --------------------------------------------------------- *)
+
+let diff_fault_free =
+  QCheck.Test.make ~name:"CSR = reference (fault-free)" ~count:120
+    QCheck.(triple (int_bound 100_000) (int_range 2 20) (int_bound 2))
+    (fun (seed, n, bw_sel) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let bw = 1 + bw_sel in
+      let program = gossip ~pseed:(mix seed 5) ~bw in
+      cores_agree ~bandwidth:bw g program
+      &&
+      (* tracing must not perturb what it observes: an untraced run of the
+         CSR core reports the same stats as the traced one *)
+      match
+        ( Simulator.run_outcome ~bandwidth:bw g program,
+          observe Csr ~bandwidth:bw g program )
+      with
+      | Simulator.Finished (_, s1), (Simulator.Finished (_, s2), _, _) -> s1 = s2
+      | _ -> false)
+
+let diff_faulty =
+  QCheck.Test.make ~name:"CSR = reference (fault plans)" ~count:120
+    QCheck.(triple (int_bound 100_000) (int_range 2 18) (int_bound 1))
+    (fun (seed, n, bw_sel) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let plan = gen_plan seed ~n ~m:(Graph.m g) in
+      let bw = 1 + bw_sel in
+      cores_agree ~bandwidth:bw ~plan g (gossip ~pseed:(mix seed 11) ~bw))
+
+let diff_out_of_rounds =
+  QCheck.Test.make ~name:"CSR = reference (Out_of_rounds)" ~count:40
+    QCheck.(triple (int_bound 100_000) (int_range 2 14) QCheck.bool)
+    (fun (seed, n, with_faults) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 3) in
+      let plan = if with_faults then Some (gen_plan seed ~n ~m:(Graph.m g)) else None in
+      (* A 2-round ceiling against stop rounds up to 10 forces partial
+         outcomes; both cores must return identical Out_of_rounds
+         payloads. *)
+      cores_agree ~max_rounds:2 ?plan g (gossip ~pseed:(mix seed 17) ~bw:1))
+
+(* --- deterministic cases ------------------------------------------------ *)
+
+(* Both cores reject an over-budget send with the same exception payload. *)
+let bandwidth_parity () =
+  let g = Generators.path 2 in
+  let program =
+    {
+      Simulator.init = (fun _ -> false);
+      on_round =
+        (fun ctx st ~inbox ->
+          ignore inbox;
+          if ctx.Simulator.node = 0 && not st then (true, [ (0, 1); (0, 2) ])
+          else (true, []));
+      is_halted = (fun st -> st);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let catch run =
+    try
+      ignore (run g program);
+      None
+    with Simulator.Bandwidth_exceeded { node; port; round; words; limit } ->
+      Some (node, port, round, words, limit)
+  in
+  let a = catch (fun g p -> Simulator.run g p) in
+  let b = catch (fun g p -> Simulator_ref.run g p) in
+  check Alcotest.bool "both raise" true (a <> None && a = b)
+
+(* A crash purges the delayed deliveries already in flight toward the dead
+   node: they surface as Drop events at the crash round and count as
+   to_crashed, identically on both cores. *)
+let crash_purges_delayed () =
+  let g = Generators.path 3 in
+  (* Node 1 pushes one word toward node 2 every round; all traffic takes 2
+     extra rounds of latency. Node 2 dies at round 2, while the round-1
+     send (arrival round 4) is still queued. *)
+  let program =
+    {
+      Simulator.init = (fun ctx -> (ctx.Simulator.node, 0));
+      on_round =
+        (fun ctx (id, r) ~inbox ->
+          ignore inbox;
+          let r = r + 1 in
+          let outbox =
+            if id = 1 && r <= 4 then
+              (* port of node 1 leading to node 2 *)
+              let port = ref (-1) in
+              Array.iteri
+                (fun p w -> if w = 2 then port := p)
+                ctx.Simulator.neighbors;
+              [ (!port, r) ]
+            else []
+          in
+          ((id, r), outbox));
+      is_halted = (fun (_, r) -> r >= 6);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  let plan =
+    {
+      Fault.seed = 3;
+      default = { Fault.reliable_edge with delay = 2 };
+      edges = [];
+      crashes = [ { Fault.node = 2; round = 2 } ];
+    }
+  in
+  let ((_, events, counts) as obs_a) = observe Csr ~plan g program in
+  let obs_b = observe Ref ~plan g program in
+  check Alcotest.bool "cores agree" true (same_observation obs_a obs_b);
+  let purged =
+    List.exists
+      (function
+        | Trace.Drop { round = 2; src = 1; dst = 2; _ } -> true
+        | _ -> false)
+      events
+  in
+  check Alcotest.bool "purge traced as Drop at crash round" true purged;
+  match counts with
+  | None -> Alcotest.fail "expected fault counters"
+  | Some c ->
+      (* Round-1 send purged at the crash + every later send to the dead
+         node. *)
+      check Alcotest.bool "to_crashed counts the purge" true (c.Fault.to_crashed >= 4)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ diff_fault_free; diff_faulty; diff_out_of_rounds ]
+
+let suite =
+  [
+    case "bandwidth exception parity" `Quick bandwidth_parity;
+    case "crash purges delayed deliveries" `Quick crash_purges_delayed;
+  ]
+  @ props

@@ -268,12 +268,112 @@ let table_int_rows () =
   check Alcotest.bool "renders ints" true
     (String.length (Table.render t) > 0)
 
+(* --- Vec ------------------------------------------------------------- *)
+
+let vec_push_get () =
+  let v = Vec.create () in
+  check Alcotest.bool "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 3)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check Alcotest.int "get" (i * 3) (Vec.get v i)
+  done;
+  Vec.set v 50 (-1);
+  check Alcotest.int "set/get" (-1) (Vec.get v 50)
+
+let vec_clear_reuses_storage () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  let cap = Vec.capacity v in
+  check Alcotest.bool "grew" true (cap >= 1000);
+  (* Refill after clear: same storage, no growth. *)
+  for _ = 1 to 5 do
+    Vec.clear v;
+    check Alcotest.int "cleared" 0 (Vec.length v);
+    for i = 0 to 999 do
+      Vec.push v (i + 7)
+    done;
+    check Alcotest.int "capacity stable across reuse" cap (Vec.capacity v);
+    check Alcotest.int "refilled" (7 + 999) (Vec.get v 999)
+  done;
+  Vec.reset v;
+  check Alcotest.int "reset drops storage" 0 (Vec.capacity v)
+
+let vec_growth_and_capacity_hint () =
+  let v = Vec.create ~capacity:32 () in
+  check Alcotest.int "no storage before first push" 0 (Vec.capacity v);
+  Vec.push v 1;
+  check Alcotest.int "hint honored" 32 (Vec.capacity v);
+  for i = 2 to 100 do
+    Vec.push v i
+  done;
+  check Alcotest.int "doubling growth" 128 (Vec.capacity v);
+  check Alcotest.int "contents intact" 100 (Vec.get v 99)
+
+let vec_truncate_and_iter () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.truncate v 3;
+  check (Alcotest.list Alcotest.int) "truncate" [ 1; 2; 3 ] (Vec.to_list v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  check Alcotest.int "iteri count" 3 (List.length !seen);
+  check Alcotest.int "fold" 6 (Vec.fold_left ( + ) 0 v);
+  check Alcotest.bool "to_array" true (Vec.to_array v = [| 1; 2; 3 |]);
+  Alcotest.check_raises "truncate too long" (Invalid_argument "Vec.truncate: bad length")
+    (fun () -> Vec.truncate v 4)
+
+let vec_bounds_checked () =
+  let v = Vec.of_list [ 10 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "get negative" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds")
+    (fun () -> Vec.set v 1 0)
+
+(* Model check: a Vec subjected to a random push/clear/truncate/set script
+   always agrees with the same script run against a plain list. *)
+let vec_matches_model =
+  QCheck.Test.make ~name:"Vec = list model" ~count:200
+    QCheck.(small_list (pair (int_bound 3) small_int))
+    (fun script ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 | 3 ->
+              Vec.push v x;
+              model := !model @ [ x ]
+          | 1 ->
+              Vec.clear v;
+              model := []
+          | 2 ->
+              let n = List.length !model in
+              if n > 0 then begin
+                let keep = x mod n in
+                Vec.truncate v keep;
+                model := List.filteri (fun i _ -> i < keep) !model;
+                if keep > 0 then begin
+                  Vec.set v (keep - 1) (x + 1);
+                  model := List.mapi (fun i y -> if i = keep - 1 then x + 1 else y) !model
+                end
+              end
+          | _ -> assert false)
+        script;
+      Vec.to_list v = !model && Vec.length v = List.length !model)
+
 let props = List.map QCheck_alcotest.to_alcotest
     [
       rng_permutation_is_permutation;
       rng_sample_without_replacement;
       bitset_matches_model;
       pqueue_matches_sort;
+      vec_matches_model;
     ]
 
 let suite =
@@ -302,5 +402,10 @@ let suite =
     case "stats: of_ints/ratios" `Quick stats_of_ints_and_ratios;
     case "bitset: copy/clear/fold" `Quick bitset_copy_and_clear;
     case "table: int rows" `Quick table_int_rows;
+    case "vec: push/get/set" `Quick vec_push_get;
+    case "vec: clear reuses storage" `Quick vec_clear_reuses_storage;
+    case "vec: growth + capacity hint" `Quick vec_growth_and_capacity_hint;
+    case "vec: truncate/iter/fold" `Quick vec_truncate_and_iter;
+    case "vec: bounds checked" `Quick vec_bounds_checked;
   ]
   @ props
