@@ -1,0 +1,177 @@
+(* Bench-report differ: compares two BENCH_*.json files produced by
+   sim_bench.exe and gates on allocation regressions.
+
+   CI runs this instead of re-implementing the comparison in shell:
+
+     bench_diff.exe BASELINE.json CURRENT.json [--threshold PCT] [--floor W]
+
+   Prints a per-benchmark delta table (minor words, promoted words,
+   seconds/run) and exits 1 when any benchmark's minor-heap words grew by
+   more than PCT percent (default 25) plus an absolute floor of W words
+   (default 4096, so near-zero benches don't trip on constant noise).
+   Timings are reported but never gated: wall clock is machine-dependent,
+   allocation in quick mode is deterministic. *)
+
+module Json = Lcs_util.Json
+module Table = Lcs_util.Table
+
+let read_file path =
+  match open_in path with
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+  | exception Sys_error msg ->
+      Printf.eprintf "bench_diff: cannot read %s: %s\n" path msg;
+      exit 2
+
+let parse_report path =
+  match Json.of_string (read_file path) with
+  | Error e ->
+      Printf.eprintf "bench_diff: cannot parse %s: %s\n" path e;
+      exit 2
+  | Ok doc ->
+      (match Json.member "schema" doc with
+      | Some (Json.String s) when s = "lcs-bench-simulator/1" -> ()
+      | Some (Json.String s) ->
+          Printf.eprintf "bench_diff: %s has unexpected schema %s\n" path s;
+          exit 2
+      | _ ->
+          Printf.eprintf "bench_diff: %s is not a sim_bench report\n" path;
+          exit 2);
+      doc
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let field doc bench key =
+  match Json.member "benchmarks" doc with
+  | None -> None
+  | Some benches -> (
+      match Json.member bench benches with
+      | None -> None
+      | Some sample -> number (Json.member key sample))
+
+let bench_names doc =
+  match Json.member "benchmarks" doc with
+  | Some (Json.Obj fields) -> List.map fst fields
+  | _ -> []
+
+let pct ~base ~cur =
+  if base = 0. then if cur = 0. then 0. else infinity
+  else (cur -. base) /. base *. 100.
+
+let fmt_pct p =
+  if p = infinity then "new" else Printf.sprintf "%+.1f%%" p
+
+let () =
+  let threshold = ref 25.0 in
+  let floor_words = ref 4096.0 in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        threshold := float_of_string v;
+        parse rest
+    | "--floor" :: v :: rest ->
+        floor_words := float_of_string v;
+        parse rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        Printf.eprintf
+          "usage: bench_diff BASELINE.json CURRENT.json [--threshold PCT] \
+           [--floor WORDS]\n";
+        Printf.eprintf "unknown option: %s\n" arg;
+        exit 2
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !paths with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        Printf.eprintf
+          "usage: bench_diff BASELINE.json CURRENT.json [--threshold PCT] \
+           [--floor WORDS]\n";
+        exit 2
+  in
+  let baseline = parse_report baseline_path and current = parse_report current_path in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "bench diff: %s -> %s (gate: minor words +%.0f%%)"
+           baseline_path current_path !threshold)
+      [
+        ("benchmark", Table.Left);
+        ("minor base", Table.Right);
+        ("minor cur", Table.Right);
+        ("delta", Table.Right);
+        ("promoted", Table.Right);
+        ("sec/run", Table.Right);
+        ("verdict", Table.Right);
+      ]
+  in
+  let regressions = ref [] in
+  let names =
+    (* Union, baseline order first: a benchmark dropped from the current
+       report is as suspicious as a regression and must stay visible. *)
+    let cur = bench_names current in
+    bench_names baseline
+    @ List.filter (fun n -> not (List.mem n (bench_names baseline))) cur
+  in
+  List.iter
+    (fun name ->
+      let base = field baseline name "minor_words"
+      and cur = field current name "minor_words" in
+      match (base, cur) with
+      | Some base, Some cur ->
+          let regressed = cur > (base *. (1. +. (!threshold /. 100.))) +. !floor_words in
+          if regressed then regressions := (name, base, cur) :: !regressions;
+          let promoted =
+            match field current name "promoted_words" with
+            | Some p -> Table.fmt_float p
+            | None -> "-"
+          and seconds =
+            match field current name "seconds_per_run" with
+            | Some s -> Printf.sprintf "%.6f" s
+            | None -> "-"
+          in
+          Table.add_row table
+            [
+              name;
+              Table.fmt_float base;
+              Table.fmt_float cur;
+              fmt_pct (pct ~base ~cur);
+              promoted;
+              seconds;
+              (if regressed then "FAIL" else "ok");
+            ]
+      | None, Some cur ->
+          Table.add_row table
+            [ name; "-"; Table.fmt_float cur; "new"; "-"; "-"; "ok" ]
+      | Some base, None ->
+          Table.add_row table
+            [ name; Table.fmt_float base; "-"; "dropped"; "-"; "-"; "MISSING" ];
+          regressions := (name, base, nan) :: !regressions
+      | None, None -> ())
+    names;
+  Table.print table;
+  match List.rev !regressions with
+  | [] -> print_endline "bench_diff: no allocation regressions"
+  | rs ->
+      List.iter
+        (fun (name, base, cur) ->
+          if Float.is_nan cur then
+            Printf.eprintf "BENCH MISSING: %s is in the baseline but not the \
+                            current report\n" name
+          else
+            Printf.eprintf
+              "ALLOCATION REGRESSION: %s grew %.0f -> %.0f minor words \
+               (>%.0f%% + %.0f)\n"
+              name base cur !threshold !floor_words)
+        rs;
+      exit 1

@@ -117,19 +117,20 @@ let info_cmd =
 (* --- shortcut subcommand ------------------------------------------------ *)
 
 let shortcut_cmd =
-  let run family parts seed full =
+  let run family parts seed full trace spans =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
+    let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     if full then begin
-      let b = Boost.full partition ~tree in
+      let b = Boost.full ?obs partition ~tree in
       let r = Quality.measure b.Boost.shortcut in
       Printf.printf "full shortcut after %d boosting iterations (delta=%d):\n"
         b.Boost.iterations b.Boost.delta_used;
       Format.printf "  %a@." Quality.pp_report r
     end
     else begin
-      let result, delta = Construct.auto partition ~tree in
+      let result, delta = Construct.auto ?obs partition ~tree in
       let r = Quality.measure result.Construct.shortcut in
       Printf.printf
         "partial shortcut: delta=%d threshold=%d budget=%d covered=%d/%d\n" delta
@@ -137,14 +138,72 @@ let shortcut_cmd =
         result.Construct.selected_count (Partition.k partition);
       Format.printf "  %a@." Quality.pp_report r
     end;
+    (* The traced run is the Theorem 1.5 pipeline on the enforced
+       simulator — that is where shortcut construction has a genuine
+       CONGEST event stream (BFS + detection waves). *)
+    (if obs <> None then begin
+       let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+       let o = Distributed.construct ?obs ?tracer partition ~root:0 in
+       Printf.printf
+         "distributed pipeline: delta=%d guesses=%d bfs_rounds=%d wave_rounds=%d\n"
+         o.Distributed.delta o.Distributed.guesses
+         o.Distributed.bfs_stats.Simulator.rounds o.Distributed.wave_rounds;
+       match trace with
+       | None -> ()
+       | Some path ->
+           let profile = Option.get profile in
+           let sc = o.Distributed.result.Construct.shortcut in
+           let doc =
+             Report.assemble ~command:"shortcut" ~protocol:"distributed.construct"
+               ~seed ~g
+               ~extra:
+                 [
+                   ("parts", Json.Int (Partition.k partition));
+                   ("delta", Json.Int o.Distributed.delta);
+                   ("threshold", Json.Int o.Distributed.threshold);
+                   ("covered", Json.Int o.Distributed.result.Construct.selected_count);
+                   ("guesses", Json.Int o.Distributed.guesses);
+                   ("bfs_stats", Report.stats_json o.Distributed.bfs_stats);
+                   ("wave_rounds", Json.Int o.Distributed.wave_rounds);
+                   ("wave_messages", Json.Int o.Distributed.wave_messages);
+                   ( "part_traffic",
+                     Quality.traffic_to_json
+                       (Quality.traffic sc
+                          ~edge_words:(Trace.Profile.edge_words profile)) );
+                 ]
+               ~profile ?recorder ?obs ()
+           in
+           Report.write_json path doc ~describe:(fun () ->
+               Printf.printf "trace: wrote %s (%d words over %d edges in %d rounds)\n"
+                 path
+                 (Trace.Profile.total_words profile)
+                 (Trace.Profile.edges_used profile)
+                 (Trace.Profile.rounds profile))
+     end);
+    Report.write_spans spans obs;
     0
   in
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"boost to a full shortcut (Obs 2.7)")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"also run the distributed (Theorem 1.5) pipeline on the \
+                   enforced simulator with tracing on and write the JSON run \
+                   report (stats, per-edge congestion profile, per-part \
+                   traffic, event stream, spans/metrics/ledger) to $(docv)")
+  in
+  let spans_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spans" ] ~docv:"PATH"
+             ~doc:"write the construction's span tree as Chrome trace-event \
+                   JSON (Perfetto-loadable) to $(docv)")
+  in
   Cmd.v
     (Cmd.info "shortcut" ~doc:"construct a Theorem 3.1 shortcut and measure it")
-    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg)
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg $ trace_arg
+          $ spans_arg)
 
 (* --- pa subcommand -------------------------------------------------------- *)
 
@@ -203,53 +262,39 @@ let pa_cmd =
     | None -> 0
     | Some path ->
         let doc =
-          Json.Obj
-            [
-              ("command", Json.String "pa");
-              ("protocol", Json.String "sim_aggregate.minimum_outcome");
-              ("seed", Json.Int seed);
-              ("n", Json.Int (Graph.n g));
-              ("m", Json.Int (Graph.m g));
-              ("parts", Json.Int (Shortcut.k sc));
-              ( "outcome",
-                Json.String
-                  (match o with
-                  | Outcome.Complete _ -> "complete"
-                  | Outcome.Degraded _ -> "degraded") );
-              ( "degradation",
-                match o with
-                | Outcome.Complete _ -> Json.Null
-                | Outcome.Degraded (_, d) -> Outcome.degradation_to_json d );
-              ("fault_plan", Json.String fpath);
-              ("fault_counts", Fault.counts_to_json counts);
-              ( "stats",
-                Json.Obj
-                  [
-                    ("rounds", Json.Int stats.Simulator.rounds);
-                    ("messages", Json.Int stats.Simulator.messages);
-                    ("words", Json.Int stats.Simulator.words);
-                    ("max_edge_load", Json.Int stats.Simulator.max_edge_load);
-                  ] );
-              ("completion_round", Json.Int r.Sim_aggregate.completion_round);
-              ("retransmissions", Json.Int r.Sim_aggregate.retransmissions);
-              ("profile", Trace.Profile.to_json profile);
-              ("events", Trace.Recorder.to_json recorder);
-            ]
+          Report.assemble ~command:"pa" ~protocol:"sim_aggregate.minimum_outcome"
+            ~seed ~g
+            ~extra:
+              [
+                ("parts", Json.Int (Shortcut.k sc));
+                ( "outcome",
+                  Json.String
+                    (match o with
+                    | Outcome.Complete _ -> "complete"
+                    | Outcome.Degraded _ -> "degraded") );
+                ( "degradation",
+                  match o with
+                  | Outcome.Complete _ -> Json.Null
+                  | Outcome.Degraded (_, d) -> Outcome.degradation_to_json d );
+                ("fault_plan", Json.String fpath);
+                ("fault_counts", Fault.counts_to_json counts);
+                ("stats", Report.stats_json stats);
+                ("completion_round", Json.Int r.Sim_aggregate.completion_round);
+                ("retransmissions", Json.Int r.Sim_aggregate.retransmissions);
+                ( "part_traffic",
+                  Quality.traffic_to_json
+                    (Quality.traffic sc
+                       ~edge_words:(Trace.Profile.edge_words profile)) );
+              ]
+            ~profile ~recorder ()
         in
-        (match open_out path with
-        | oc ->
-            output_string oc (Json.to_string doc);
-            output_string oc "\n";
-            close_out oc;
+        Report.write_json path doc ~describe:(fun () ->
             Printf.printf "trace: wrote %s (%d events, %d fault events)\n" path
               (Trace.Recorder.length recorder)
-              (Trace.Profile.fault_events profile)
-        | exception Sys_error msg ->
-            Printf.eprintf "lcs: cannot write trace: %s\n" msg;
-            exit 1);
+              (Trace.Profile.fault_events profile));
         0
   in
-  let run family parts seed trace faults fault_seed =
+  let run family parts seed trace spans faults fault_seed =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -257,7 +302,10 @@ let pa_cmd =
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
     match faults with
-    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace
+    | Some fpath ->
+        if spans <> None then
+          Printf.eprintf "lcs: --spans is not available with --faults (no collector runs)\n";
+        run_faulty g sc values ~seed ~fpath ~fault_seed ~trace
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -266,56 +314,42 @@ let pa_cmd =
     let bare = Aggregate.minimum (Rng.create (seed + 6)) (Shortcut.empty partition) ~values in
     Printf.printf "without shortcuts:          %d rounds, %d messages\n"
       bare.Aggregate.rounds bare.Aggregate.messages;
-    (match trace with
-    | None -> ()
-    | Some path ->
-        (* The traced run is the genuine CONGEST execution (Sim_aggregate):
-           every transmission crosses the simulator's enforced 1-word
-           bandwidth and lands in the event stream. *)
-        let recorder = Trace.Recorder.create () in
-        let profile = Trace.Profile.create ~edges:(Graph.m g) () in
-        let tracer =
-          Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ]
-        in
-        let sim = Sim_aggregate.minimum ~tracer (Rng.create (seed + 7)) sc ~values in
-        let stats = sim.Sim_aggregate.stats in
-        let doc =
-          Json.Obj
-            [
-              ("command", Json.String "pa");
-              ("protocol", Json.String "sim_aggregate.minimum");
-              ("seed", Json.Int seed);
-              ("n", Json.Int (Graph.n g));
-              ("m", Json.Int (Graph.m g));
-              ("parts", Json.Int (Shortcut.k sc));
-              ( "stats",
-                Json.Obj
-                  [
-                    ("rounds", Json.Int stats.Simulator.rounds);
-                    ("messages", Json.Int stats.Simulator.messages);
-                    ("words", Json.Int stats.Simulator.words);
-                    ("max_edge_load", Json.Int stats.Simulator.max_edge_load);
-                  ] );
-              ("completion_round", Json.Int sim.Sim_aggregate.completion_round);
-              ("profile", Trace.Profile.to_json profile);
-              ("events", Trace.Recorder.to_json recorder);
-            ]
-        in
-        (match open_out path with
-        | oc ->
-            output_string oc (Json.to_string doc);
-            output_string oc "\n";
-            close_out oc;
-            Printf.printf
-              "trace: wrote %s (%d events; %d words over %d edges in %d rounds)\n"
-              path
-              (Trace.Recorder.length recorder)
-              (Trace.Profile.total_words profile)
-              (Trace.Profile.edges_used profile)
-              (Trace.Profile.rounds profile)
-        | exception Sys_error msg ->
-            Printf.eprintf "lcs: cannot write trace: %s\n" msg;
-            exit 1));
+    let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
+    (if obs <> None then begin
+       (* The traced run is the genuine CONGEST execution (Sim_aggregate):
+          every transmission crosses the simulator's enforced 1-word
+          bandwidth and lands in the event stream. *)
+       let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+       let sim = Sim_aggregate.minimum ?obs ?tracer (Rng.create (seed + 7)) sc ~values in
+       match trace with
+       | None -> ()
+       | Some path ->
+           let recorder = Option.get recorder and profile = Option.get profile in
+           let doc =
+             Report.assemble ~command:"pa" ~protocol:"sim_aggregate.minimum"
+               ~seed ~g
+               ~extra:
+                 [
+                   ("parts", Json.Int (Shortcut.k sc));
+                   ("stats", Report.stats_json sim.Sim_aggregate.stats);
+                   ("completion_round", Json.Int sim.Sim_aggregate.completion_round);
+                   ( "part_traffic",
+                     Quality.traffic_to_json
+                       (Quality.traffic sc
+                          ~edge_words:(Trace.Profile.edge_words profile)) );
+                 ]
+               ~profile ~recorder ?obs ()
+           in
+           Report.write_json path doc ~describe:(fun () ->
+               Printf.printf
+                 "trace: wrote %s (%d events; %d words over %d edges in %d rounds)\n"
+                 path
+                 (Trace.Recorder.length recorder)
+                 (Trace.Profile.total_words profile)
+                 (Trace.Profile.edges_used profile)
+                 (Trace.Profile.rounds profile))
+     end);
+    Report.write_spans spans obs;
     0
   in
   let trace_arg =
@@ -323,7 +357,14 @@ let pa_cmd =
          & info [ "trace" ] ~docv:"PATH"
              ~doc:"run the aggregation under the enforced simulator with tracing \
                    on and write the JSON run report (stats, per-edge congestion \
-                   profile, event stream) to $(docv)")
+                   profile, per-part traffic, event stream, \
+                   spans/metrics/ledger) to $(docv)")
+  in
+  let spans_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spans" ] ~docv:"PATH"
+             ~doc:"write the enforced-simulator run's span tree as Chrome \
+                   trace-event JSON (Perfetto-loadable) to $(docv)")
   in
   let faults_arg =
     Arg.(value & opt (some string) None
@@ -342,13 +383,13 @@ let pa_cmd =
   in
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
-    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ faults_arg
-          $ fault_seed_arg)
+    Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ spans_arg
+          $ faults_arg $ fault_seed_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 
 let mst_cmd =
-  let run family seed mode =
+  let run family seed mode trace spans =
     let g, _shape = build_family seed family in
     let w = Weights.random_distinct (Rng.create (seed + 3)) g in
     let mode =
@@ -358,7 +399,9 @@ let mst_cmd =
       | "induced" -> Boruvka_engine.Induced_only
       | other -> invalid_arg ("unknown mode " ^ other)
     in
-    let result = Mst.boruvka ~seed:(seed + 4) ~mode w in
+    let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
+    let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+    let result = Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode w in
     let ok = result.Mst.edges = Kruskal.mst w in
     Printf.printf
       "MST: weight=%d edges=%d phases=%d pa_rounds=%d correct_vs_kruskal=%b\n"
@@ -366,15 +409,54 @@ let mst_cmd =
       (List.length result.Mst.edges)
       result.Mst.accounting.Boruvka_engine.phases
       result.Mst.accounting.Boruvka_engine.pa_rounds ok;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        let recorder = Option.get recorder and profile = Option.get profile in
+        let acc = result.Mst.accounting in
+        let doc =
+          Report.assemble ~command:"mst" ~protocol:"boruvka_engine.run" ~seed ~g
+            ~extra:
+              [
+                ("weight", Json.Int result.Mst.weight);
+                ("edges", Json.Int (List.length result.Mst.edges));
+                ("phases", Json.Int acc.Boruvka_engine.phases);
+                ("pa_rounds", Json.Int acc.Boruvka_engine.pa_rounds);
+                ("pa_messages", Json.Int acc.Boruvka_engine.pa_messages);
+                ("max_congestion", Json.Int acc.Boruvka_engine.max_congestion);
+                ("correct_vs_kruskal", Json.Bool ok);
+              ]
+            ~profile ~recorder ?obs ()
+        in
+        Report.write_json path doc ~describe:(fun () ->
+            Printf.printf
+              "trace: wrote %s (%d events; %d words over %d edges)\n" path
+              (Trace.Recorder.length recorder)
+              (Trace.Profile.total_words profile)
+              (Trace.Profile.edges_used profile)));
+    Report.write_spans spans obs;
     0
   in
   let mode_arg =
     Arg.(value & opt string "thm31" & info [ "mode" ] ~docv:"MODE"
            ~doc:"thm31 | baseline | induced")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"trace every phase's packet-routed aggregation and write the \
+                   JSON run report (accounting, per-edge congestion profile, \
+                   event stream, spans/metrics/ledger) to $(docv)")
+  in
+  let spans_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spans" ] ~docv:"PATH"
+             ~doc:"write the run's span tree (mst → boruvka.phase → pa → \
+                   pa.epoch) as Chrome trace-event JSON to $(docv)")
+  in
   Cmd.v
     (Cmd.info "mst" ~doc:"distributed Boruvka MST with measured PA rounds")
-    Term.(const run $ graph_arg $ seed_arg $ mode_arg)
+    Term.(const run $ graph_arg $ seed_arg $ mode_arg $ trace_arg $ spans_arg)
 
 (* --- export subcommand -------------------------------------------------------- *)
 

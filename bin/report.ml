@@ -1,0 +1,77 @@
+(* Shared run-report assembly for lcs_cli subcommands: one JSON schema
+   (command/protocol/seed/n/m + per-command extras + profile/events +
+   spans/metrics/ledger) and one writer, so `pa`, `shortcut` and `mst`
+   cannot drift apart. *)
+
+open Core
+
+let stats_json (stats : Simulator.stats) =
+  Json.Obj
+    [
+      ("rounds", Json.Int stats.Simulator.rounds);
+      ("messages", Json.Int stats.Simulator.messages);
+      ("words", Json.Int stats.Simulator.words);
+      ("max_edge_load", Json.Int stats.Simulator.max_edge_load);
+    ]
+
+(* The "spans" / "metrics" / "ledger" objects an installed collector adds
+   to a run report; absent (not null) when no collector ran. *)
+let obs_fields = function
+  | None -> []
+  | Some o ->
+      [
+        ("spans", Obs.spans_to_json o);
+        ("metrics", Obs.metrics_to_json o);
+        ("ledger", Obs.ledger_to_json o);
+      ]
+
+let assemble ~command ~protocol ~seed ~g ?(extra = []) ?profile ?recorder ?obs
+    () =
+  Json.Obj
+    ([
+       ("command", Json.String command);
+       ("protocol", Json.String protocol);
+       ("seed", Json.Int seed);
+       ("n", Json.Int (Graph.n g));
+       ("m", Json.Int (Graph.m g));
+     ]
+    @ extra
+    @ (match profile with
+      | None -> []
+      | Some p -> [ ("profile", Trace.Profile.to_json p) ])
+    @ (match recorder with
+      | None -> []
+      | Some r -> [ ("events", Trace.Recorder.to_json r) ])
+    @ obs_fields obs)
+
+let write_json path doc ~describe =
+  match open_out path with
+  | oc ->
+      output_string oc (Json.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      describe ()
+  | exception Sys_error msg ->
+      Printf.eprintf "lcs: cannot write %s: %s\n" path msg;
+      exit 1
+
+(* Write the collector's span tree as Chrome trace-event JSON (--spans). *)
+let write_spans spans obs =
+  match (spans, obs) with
+  | Some path, Some o ->
+      write_json path (Obs.to_chrome_json o) ~describe:(fun () ->
+          Printf.printf "spans: wrote %s (%d spans, max depth %d)\n" path
+            (Obs.span_count o) (Obs.max_depth o))
+  | _ -> ()
+
+(* Tracing harness: a recorder + profile pair tee'd into one tracer, or
+   nothing when the report does not need them. *)
+let tracing g ~on =
+  if not on then (None, None, None)
+  else
+    let recorder = Trace.Recorder.create () in
+    let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+    let tracer =
+      Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ]
+    in
+    (Some recorder, Some profile, Some tracer)

@@ -8,6 +8,7 @@ module Baseline = Lcs_shortcut.Baseline
 module Quality = Lcs_shortcut.Quality
 module Aggregate = Lcs_partwise.Aggregate
 module Rng = Lcs_util.Rng
+module Obs = Lcs_obs.Obs
 
 type shortcut_mode =
   | Thm31
@@ -45,20 +46,22 @@ let partition_of_uf g uf =
   in
   Partition.of_assignment g part_of
 
-let build_shortcut mode tree partition =
-  match mode with
-  | Thm31 -> (Boost.full partition ~tree).Boost.shortcut
-  | Bfs_baseline -> (Baseline.bfs_tree partition ~tree).Baseline.shortcut
-  | Induced_only -> Shortcut.empty partition
+let build_shortcut ?obs mode tree partition =
+  Obs.span obs "boruvka.shortcut" (fun () ->
+      match mode with
+      | Thm31 -> (Boost.full ?obs partition ~tree).Boost.shortcut
+      | Bfs_baseline -> (Baseline.bfs_tree partition ~tree).Baseline.shortcut
+      | Induced_only -> Shortcut.empty partition)
 
-let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
+let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
   if Graph.m g >= 1 lsl key_bits then invalid_arg "Boruvka_engine: too many edges";
   let rng = Rng.create seed in
   let n = Graph.n g in
   let uf = Union_find.create n in
   let tree = Bfs.tree g ~root:0 in
+  Obs.enter obs "boruvka";
   let partition = ref (partition_of_uf g uf) in
-  let shortcut = ref (build_shortcut mode tree !partition) in
+  let shortcut = ref (build_shortcut ?obs mode tree !partition) in
   let phases = ref 0 in
   let pa_rounds = ref 0 in
   let pa_messages = ref 0 in
@@ -66,6 +69,8 @@ let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
   let progress = ref true in
   while !progress do
     incr phases;
+    Obs.enter obs "boruvka.phase";
+    Obs.note obs "fragments" (Obs.Int (Partition.k !partition));
     let fragment_of v = Partition.part_of !partition v in
     (* Per-vertex encoded proposals. *)
     let values =
@@ -76,9 +81,11 @@ let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
     in
     let congestion = Quality.congestion !shortcut in
     if congestion > !max_congestion then max_congestion := congestion;
-    let out = Aggregate.minimum rng !shortcut ~values in
+    Obs.gauge obs "boruvka.congestion" (float_of_int congestion);
+    let out = Aggregate.minimum ?obs ?tracer rng !shortcut ~values in
     pa_rounds := !pa_rounds + out.Aggregate.rounds;
     pa_messages := !pa_messages + out.Aggregate.messages;
+    Obs.observe obs "pa.rounds" (float_of_int out.Aggregate.rounds);
     (* Merge along each fragment's winning edge. *)
     let merged_any = ref false in
     Array.iter
@@ -88,6 +95,7 @@ let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
           let u, v = Graph.edge_endpoints g e in
           if Union_find.union uf u v then begin
             merged_any := true;
+            Obs.count obs "boruvka.merges" 1;
             on_merge e
           end
         end)
@@ -96,20 +104,34 @@ let run ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
       (* Fragment-identity update: a leader broadcast on the new partition,
          whose shortcut the next phase reuses. *)
       let partition' = partition_of_uf g uf in
-      let shortcut' = build_shortcut mode tree partition' in
+      let shortcut' = build_shortcut ?obs mode tree partition' in
       let k' = Partition.k partition' in
       let leaders = Array.make k' (-1) in
       for v = n - 1 downto 0 do
         leaders.(Partition.part_of partition' v) <- v
       done;
-      let bc = Aggregate.broadcast rng shortcut' ~leaders in
+      let bc = Aggregate.broadcast ?obs ?tracer rng shortcut' ~leaders in
       pa_rounds := !pa_rounds + bc.Aggregate.rounds;
       pa_messages := !pa_messages + bc.Aggregate.messages;
+      Obs.observe obs "pa.rounds" (float_of_int bc.Aggregate.rounds);
       partition := partition';
       shortcut := shortcut'
     end
-    else progress := false
+    else progress := false;
+    Obs.exit obs
   done;
+  (* Each phase at least halves the fragment count, plus one terminal
+     phase that only detects quiescence. *)
+  (match obs with
+  | None -> ()
+  | Some _ ->
+      let log2n =
+        int_of_float (Float.ceil (log (float_of_int (max 2 n)) /. log 2.))
+      in
+      Obs.bound obs ~metric:"phases"
+        ~predicted:(float_of_int (log2n + 1))
+        ~observed:(float_of_int !phases));
+  Obs.exit obs;
   {
     phases = !phases;
     pa_rounds = !pa_rounds;

@@ -30,6 +30,8 @@ type accounting = {
 }
 
 val run :
+  ?obs:Lcs_obs.Obs.t ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   ?seed:int ->
   ?mode:shortcut_mode ->
   Lcs_graph.Graph.t ->
@@ -43,4 +45,12 @@ val run :
     fragment, calls [on_merge edge] for every edge that actually merges two
     fragments, and repeats until a phase proposes no merges. Keys must lie
     in [0, 2^31) and the host must have fewer than 2^31 edges. [mode]
-    defaults to [Thm31]. *)
+    defaults to [Thm31].
+
+    [?tracer] observes every aggregation's packet-router run through one
+    sink. [?obs] opens a ["boruvka"] span with one ["boruvka.phase"] child
+    per phase — each nesting its shortcut construction
+    (["boruvka.shortcut"]) and its aggregations' ["pa"] spans — updates the
+    ["boruvka.merges"] counter / ["boruvka.congestion"] gauge /
+    ["pa.rounds"] histogram, and closes with a phases-vs-[⌈log₂ n⌉ + 1]
+    ledger entry. *)

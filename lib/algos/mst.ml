@@ -1,5 +1,6 @@
 module Graph = Lcs_graph.Graph
 module Weights = Lcs_graph.Weights
+module Obs = Lcs_obs.Obs
 
 type result = {
   edges : int list;
@@ -7,8 +8,11 @@ type result = {
   accounting : Boruvka_engine.accounting;
 }
 
-let boruvka ?seed ?mode weights =
+let boruvka ?obs ?tracer ?seed ?mode weights =
+  Obs.span obs "mst" @@ fun () ->
   let g = Weights.graph weights in
+  Obs.note obs "n" (Obs.Int (Graph.n g));
+  Obs.note obs "m" (Obs.Int (Graph.m g));
   let picked = ref [] in
   (* A vertex proposes its lightest incident edge leaving its fragment. *)
   let candidate ~fragment_of v =
@@ -23,7 +27,7 @@ let boruvka ?seed ?mode weights =
     !best
   in
   let accounting =
-    Boruvka_engine.run ?seed ?mode g ~candidate ~on_merge:(fun e ->
+    Boruvka_engine.run ?obs ?tracer ?seed ?mode g ~candidate ~on_merge:(fun e ->
         picked := e :: !picked)
   in
   let edges = List.sort compare !picked in

@@ -15,8 +15,13 @@ type result = {
 }
 
 val boruvka :
+  ?obs:Lcs_obs.Obs.t ->
+  ?tracer:Lcs_congest.Trace.tracer ->
   ?seed:int ->
   ?mode:Boruvka_engine.shortcut_mode ->
   Lcs_graph.Weights.t ->
   result
-(** Requires a connected host graph (the result then has [n-1] edges). *)
+(** Requires a connected host graph (the result then has [n-1] edges).
+    [?obs] wraps the run in an ["mst"] span over {!Boruvka_engine.run}'s
+    span tree (mst → boruvka → boruvka.phase → pa → pa.epoch); [?tracer]
+    observes the underlying packet-router runs. *)

@@ -13,6 +13,9 @@ module Pqueue = Lcs_util.Pqueue
 module Json = Lcs_util.Json
 module Vec = Lcs_util.Vec
 
+(* Observability *)
+module Obs = Lcs_obs.Obs
+
 (* Graphs *)
 module Graph = Lcs_graph.Graph
 module Builder = Lcs_graph.Builder

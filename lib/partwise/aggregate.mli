@@ -18,15 +18,23 @@ type outcome = {
 }
 
 val minimum :
+  ?obs:Lcs_obs.Obs.t ->
   ?bandwidth:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
   outcome
-(** Every node of each part learns the part minimum; measured rounds. *)
+(** Every node of each part learns the part minimum; measured rounds.
+    With [?obs] the run opens a ["pa"] span wrapping ["pa.run"], cuts the
+    traced load curve into ["pa.epoch"] child spans at the random-delay
+    schedule's epoch boundaries ({!Schedule.epochs} with
+    [max_delay = congestion]), and records rounds-vs-[c + d·log n] and
+    per-edge-words-vs-congestion ledger entries — the quality measurement
+    this needs runs only when a collector is installed. *)
 
 val broadcast :
+  ?obs:Lcs_obs.Obs.t ->
   ?bandwidth:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
@@ -39,6 +47,7 @@ val broadcast :
     tokens. *)
 
 val sum :
+  ?obs:Lcs_obs.Obs.t ->
   ?bandwidth:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->

@@ -5,6 +5,7 @@ module Quality = Lcs_shortcut.Quality
 module Simulator = Lcs_congest.Simulator
 module Rng = Lcs_util.Rng
 module Pqueue = Lcs_util.Pqueue
+module Obs = Lcs_obs.Obs
 
 type result = {
   minima : int array;
@@ -20,6 +21,9 @@ type node_state = {
   queues : (int * int) Pqueue.t array;  (* per port: (part, value) by delay *)
   last_improved : int;  (* as a part member *)
 }
+
+(* Schedule parameters the observability layer needs back from setup. *)
+type sched = { max_delay : int; congestion : int; dilation : int }
 
 let setup ?budget rng shortcut ~values =
   let host = Shortcut.graph shortcut in
@@ -39,7 +43,8 @@ let setup ?budget rng shortcut ~values =
         (4 * bound) + 32
   in
   let subgraphs = Subgraphs.of_shortcut shortcut in
-  let delay = Array.init k (fun _ -> Rng.int rng (max 1 r.Quality.congestion)) in
+  let max_delay = max 1 r.Quality.congestion in
+  let delay = Array.init k (fun _ -> Rng.int rng max_delay) in
   (* For each vertex: the ports its parts use, per part. Port = index into
      the vertex's host adjacency, as the simulator addresses links. *)
   let port_of_edge =
@@ -131,11 +136,28 @@ let setup ?budget rng shortcut ~values =
       msg_words = (fun _ -> 1);
     }
   in
-  (program, budget, host, partition, k)
+  ( program,
+    budget,
+    host,
+    partition,
+    k,
+    { max_delay; congestion = r.Quality.congestion; dilation = r.Quality.dilation } )
 
-let minimum ?budget ?tracer rng shortcut ~values =
-  let program, budget, host, partition, _k = setup ?budget rng shortcut ~values in
+let minimum ?budget ?obs ?tracer rng shortcut ~values =
+  Obs.span obs "pa" @@ fun () ->
+  let program, budget, host, partition, _k, sched =
+    Obs.span obs "pa.setup" (fun () -> setup ?budget rng shortcut ~values)
+  in
+  Obs.note obs "budget" (Obs.Int budget);
+  Obs.note obs "congestion" (Obs.Int sched.congestion);
+  Obs.note obs "dilation" (Obs.Int sched.dilation);
+  Obs.note obs "max_delay" (Obs.Int sched.max_delay);
+  let profile, tracer = Pa_obs.profiled obs tracer ~edges:(Graph.m host) in
+  Obs.enter obs "pa.run";
   let states, stats = Simulator.run ~max_rounds:(budget + 8) ?tracer host program in
+  Pa_obs.record_epochs obs profile ~max_delay:sched.max_delay
+    ~rounds:stats.Simulator.rounds;
+  Obs.exit obs;
   let reference = Aggregate.reference_minima shortcut ~values in
   Array.iteri
     (fun v st ->
@@ -148,6 +170,11 @@ let minimum ?budget ?tracer rng shortcut ~values =
   let completion_round =
     Array.fold_left (fun acc st -> max acc st.last_improved) 0 states
   in
+  Pa_obs.record_ledger obs profile ~congestion:sched.congestion
+    ~predicted_rounds:
+      (Aggregate.bound ~congestion:sched.congestion
+         ~dilation:(max 1 sched.dilation) ~n:(Graph.n host))
+    ~observed_rounds:completion_round;
   {
     minima = reference;
     rounds = stats.Simulator.rounds;
@@ -190,7 +217,9 @@ let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?conf
         in
         Some (8 * ((4 * bound) + 32))
   in
-  let program, budget, host, partition, k = setup ?budget rng shortcut ~values in
+  let program, budget, host, partition, k, _sched =
+    setup ?budget rng shortcut ~values
+  in
   let max_rounds =
     match max_rounds with
     | Some m -> m

@@ -26,6 +26,7 @@ type result = {
 
 val minimum :
   ?budget:int ->
+  ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
@@ -39,7 +40,11 @@ val minimum :
     [Failure] if some part had not converged within the budget. [tracer]
     observes the underlying {!Lcs_congest.Simulator} run — its per-edge
     profile is how E7-style experiments see the congestion {e
-    distribution} rather than just the maximum. *)
+    distribution} rather than just the maximum. [?obs] opens a ["pa"]
+    span with ["pa.setup"] / ["pa.run"] children, cuts the run into
+    ["pa.epoch"] spans at the schedule's epoch boundaries
+    ({!Schedule.epochs}), and records rounds-vs-[c + d·log n] (observed =
+    completion round) and per-edge-words-vs-congestion ledger entries. *)
 
 (** {1 Fault-tolerant entry point} *)
 

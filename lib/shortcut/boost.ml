@@ -1,5 +1,6 @@
 module Graph = Lcs_graph.Graph
 module Partition = Lcs_graph.Partition
+module Obs = Lcs_obs.Obs
 
 type result = {
   shortcut : Shortcut.t;
@@ -24,7 +25,7 @@ let restrict partition remaining =
   in
   (Partition.of_assignment host part_of, old_of_new)
 
-let full ?(initial_delta = 1) partition ~tree =
+let full ?obs ?(initial_delta = 1) partition ~tree =
   let k = Partition.k partition in
   let edge_sets = Array.make k [] in
   let covered = Array.make k false in
@@ -33,10 +34,14 @@ let full ?(initial_delta = 1) partition ~tree =
   let delta = ref initial_delta in
   let newly = ref [] in
   let threshold = ref 0 in
+  Obs.enter obs "boost";
+  Obs.note obs "parts" (Obs.Int k);
   while !remaining <> [] do
     incr iterations;
+    Obs.enter obs "boost.iteration";
+    Obs.note obs "remaining" (Obs.Int (List.length !remaining));
     let sub, old_of_new = restrict partition !remaining in
-    let result, accepted = Construct.auto ~initial_delta:!delta sub ~tree in
+    let result, accepted = Construct.auto ?obs ~initial_delta:!delta sub ~tree in
     delta := max !delta accepted;
     threshold := max !threshold result.Construct.threshold;
     let covered_now = ref 0 in
@@ -53,9 +58,22 @@ let full ?(initial_delta = 1) partition ~tree =
     (* Theorem 3.1 guarantees progress; guard against a logic bug anyway. *)
     if !covered_now = 0 then failwith "Boost.full: iteration covered no part";
     newly := !covered_now :: !newly;
-    remaining := List.rev !still
+    remaining := List.rev !still;
+    Obs.note obs "covered" (Obs.Int !covered_now);
+    Obs.exit obs
   done;
   let shortcut = Shortcut.create ~covered partition edge_sets in
+  (* Obs 2.7: the union's congestion is at most the per-iteration bound
+     times the number of iterations. Measured only when a collector is on. *)
+  (match obs with
+  | None -> ()
+  | Some _ ->
+      Obs.note obs "iterations" (Obs.Int !iterations);
+      Obs.note obs "delta_used" (Obs.Int !delta);
+      Obs.bound obs ~metric:"congestion"
+        ~predicted:(float_of_int (!threshold * !iterations))
+        ~observed:(float_of_int (Quality.congestion shortcut)));
+  Obs.exit obs;
   {
     shortcut;
     iterations = !iterations;

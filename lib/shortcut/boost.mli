@@ -17,10 +17,14 @@ type result = {
 }
 
 val full :
+  ?obs:Lcs_obs.Obs.t ->
   ?initial_delta:int ->
   Lcs_graph.Partition.t ->
   tree:Lcs_graph.Rooted_tree.t ->
   result
 (** Runs {!Construct.auto} on the remaining parts until all are covered.
     The delta accepted by one iteration seeds the next, so the search cost
-    is paid once. *)
+    is paid once. With [?obs] each pass opens a ["boost.iteration"] span
+    (its {!Construct} spans nested inside) under one ["boost"] span, which
+    closes with a congestion ledger entry against the Obs 2.7 bound
+    [threshold · iterations]. *)

@@ -3,6 +3,7 @@ module Partition = Lcs_graph.Partition
 module Rooted_tree = Lcs_graph.Rooted_tree
 module Bfs = Lcs_graph.Bfs
 module Bitset = Lcs_util.Bitset
+module Obs = Lcs_obs.Obs
 
 type blame_entry = {
   edge : int;
@@ -161,33 +162,73 @@ let check_inputs partition tree =
   if Rooted_tree.size tree <> Graph.n host then
     invalid_arg "Construct: tree does not span the host graph"
 
-let run ?(record_blame = false) partition ~tree ~threshold ~block_budget =
+(* Ledger entries are measured only when a collector is installed: the
+   congestion / block-number measurements walk every H_i and are not part
+   of the construction itself. *)
+let record_quality obs r =
+  match obs with
+  | None -> ()
+  | Some _ ->
+      Obs.note obs "overcongested" (Obs.Int r.overcongested_count);
+      Obs.note obs "selected" (Obs.Int r.selected_count);
+      Obs.note obs "parts" (Obs.Int (Partition.k r.partition));
+      Obs.bound obs ~metric:"congestion"
+        ~predicted:(float_of_int r.threshold)
+        ~observed:(float_of_int (Quality.congestion r.shortcut));
+      let max_blocks = ref 0 in
+      Array.iteri
+        (fun i sel ->
+          if sel then begin
+            let b = Quality.part_blocks r.shortcut i in
+            if b > !max_blocks then max_blocks := b
+          end)
+        r.selected;
+      Obs.bound obs ~metric:"blocks"
+        ~predicted:(float_of_int (r.block_budget + 1))
+        ~observed:(float_of_int !max_blocks)
+
+let instrumented obs partition ~tree ~threshold ~block_budget ~decide
+    ~record_blame =
+  Obs.span obs "construct" (fun () ->
+      Obs.note obs "threshold" (Obs.Int threshold);
+      Obs.note obs "block_budget" (Obs.Int block_budget);
+      let swept =
+        Obs.span obs "construct.sweep" (fun () ->
+            sweep partition tree ~decide ~record_blame)
+      in
+      let r =
+        Obs.span obs "construct.assign" (fun () ->
+            finish partition tree ~threshold ~block_budget swept)
+      in
+      record_quality obs r;
+      r)
+
+let run ?obs ?(record_blame = false) partition ~tree ~threshold ~block_budget =
   if threshold < 1 then invalid_arg "Construct.run: threshold must be >= 1";
   if block_budget < 0 then invalid_arg "Construct.run: negative block budget";
   check_inputs partition tree;
   let decide ~edge:_ ~size = size >= threshold in
-  sweep partition tree ~decide ~record_blame
-  |> finish partition tree ~threshold ~block_budget
+  instrumented obs partition ~tree ~threshold ~block_budget ~decide ~record_blame
 
-let with_fixed_overcongested ?(record_blame = false) partition ~tree ~over
+let with_fixed_overcongested ?obs ?(record_blame = false) partition ~tree ~over
     ~threshold ~block_budget =
   if block_budget < 0 then invalid_arg "Construct: negative block budget";
   check_inputs partition tree;
   let decide ~edge ~size:_ = Bitset.mem over edge in
-  sweep partition tree ~decide ~record_blame
-  |> finish partition tree ~threshold ~block_budget
+  instrumented obs partition ~tree ~threshold ~block_budget ~decide ~record_blame
 
-let for_delta ?record_blame partition ~tree ~delta =
+let for_delta ?obs ?record_blame partition ~tree ~delta =
   if delta < 1 then invalid_arg "Construct.for_delta: delta must be >= 1";
   let d = max 1 (Rooted_tree.height tree) in
-  run ?record_blame partition ~tree ~threshold:(8 * delta * d) ~block_budget:(8 * delta)
+  run ?obs ?record_blame partition ~tree ~threshold:(8 * delta * d)
+    ~block_budget:(8 * delta)
 
 let succeeded r = 2 * r.selected_count >= Partition.k r.partition
 
-let auto ?(initial_delta = 1) partition ~tree =
+let auto ?obs ?(initial_delta = 1) partition ~tree =
   if initial_delta < 1 then invalid_arg "Construct.auto";
   let rec search delta =
-    let r = for_delta partition ~tree ~delta in
+    let r = for_delta ?obs partition ~tree ~delta in
     if succeeded r then (r, delta) else search (2 * delta)
   in
   search initial_delta

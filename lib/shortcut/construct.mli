@@ -35,6 +35,7 @@ type result = {
 }
 
 val run :
+  ?obs:Lcs_obs.Obs.t ->
   ?record_blame:bool ->
   Lcs_graph.Partition.t ->
   tree:Lcs_graph.Rooted_tree.t ->
@@ -42,9 +43,14 @@ val run :
   block_budget:int ->
   result
 (** The raw parameterized construction. [record_blame] (default false)
-    retains the full [I_e] lists for certificate extraction and tracing. *)
+    retains the full [I_e] lists for certificate extraction and tracing.
+    With [?obs] the run opens a ["construct"] span with
+    ["construct.sweep"] / ["construct.assign"] children and records
+    congestion (vs [threshold]) and block-number (vs budget + 1) ledger
+    entries — the measurements run only when a collector is installed. *)
 
 val with_fixed_overcongested :
+  ?obs:Lcs_obs.Obs.t ->
   ?record_blame:bool ->
   Lcs_graph.Partition.t ->
   tree:Lcs_graph.Rooted_tree.t ->
@@ -58,6 +64,7 @@ val with_fixed_overcongested :
     recorded in the result but takes no decisions. *)
 
 val for_delta :
+  ?obs:Lcs_obs.Obs.t ->
   ?record_blame:bool ->
   Lcs_graph.Partition.t ->
   tree:Lcs_graph.Rooted_tree.t ->
@@ -72,6 +79,7 @@ val succeeded : result -> bool
     [δ(G)] and {!Certificate.extract} can produce a witness. *)
 
 val auto :
+  ?obs:Lcs_obs.Obs.t ->
   ?initial_delta:int ->
   Lcs_graph.Partition.t ->
   tree:Lcs_graph.Rooted_tree.t ->

@@ -2,6 +2,7 @@ module Graph = Lcs_graph.Graph
 module Partition = Lcs_graph.Partition
 module Rooted_tree = Lcs_graph.Rooted_tree
 module Bitset = Lcs_util.Bitset
+module Obs = Lcs_obs.Obs
 module Simulator = Lcs_congest.Simulator
 module Sync_bfs = Lcs_congest.Sync_bfs
 module Tree_info = Lcs_congest.Tree_info
@@ -223,48 +224,77 @@ let detection_wave ?seed ?max_rounds ?tracer ?faults ~variant ~threshold partiti
 
 (* --- Full pipeline ------------------------------------------------------- *)
 
-let construct ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
-    ?tracer partition ~root =
+let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
+    ?(initial_delta = 1) ?tracer partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
     | Some v -> v
     | None -> Randomized { repetitions = default_repetitions host }
   in
-  let tree, height, bfs_stats = Sync_bfs.run ~max_rounds ?tracer host ~root in
-  let info = Tree_info.of_tree host tree in
-  let d = max 1 height in
-  let wave_rounds = ref 0 in
-  let wave_messages = ref 0 in
-  let guesses = ref 0 in
-  let rec search delta =
-    incr guesses;
-    let threshold = 8 * delta * d in
-    let over, stats =
-      detection_wave ~seed:(seed + !guesses) ~max_rounds ?tracer ~variant ~threshold
-        partition info
-    in
-    wave_rounds := !wave_rounds + stats.Simulator.rounds;
-    wave_messages := !wave_messages + stats.Simulator.messages;
-    let result =
-      Construct.with_fixed_overcongested partition ~tree ~over ~threshold
-        ~block_budget:(8 * delta)
-    in
-    if Construct.succeeded result then (result, delta, threshold)
-    else search (2 * delta)
-  in
-  let result, delta, threshold = search initial_delta in
-  {
-    tree;
-    height;
-    delta;
-    threshold;
-    result;
-    bfs_stats;
-    wave_rounds = !wave_rounds;
-    wave_messages = !wave_messages;
-    guesses = !guesses;
-  }
+  Obs.span obs "distributed" (fun () ->
+      let tree, height, bfs_stats =
+        Obs.span obs "distributed.bfs" (fun () ->
+            let tree, height, stats = Sync_bfs.run ~max_rounds ?tracer host ~root in
+            Obs.add_rounds obs stats.Simulator.rounds;
+            Obs.note obs "height" (Obs.Int height);
+            (tree, height, stats))
+      in
+      let info = Tree_info.of_tree host tree in
+      let d = max 1 height in
+      let payload =
+        match variant with
+        | Randomized { repetitions } -> repetitions
+        | Deterministic -> 0 (* threshold-dependent; noted per wave *)
+      in
+      let wave_rounds = ref 0 in
+      let wave_messages = ref 0 in
+      let guesses = ref 0 in
+      let rec search delta =
+        incr guesses;
+        let threshold = 8 * delta * d in
+        let over, stats =
+          Obs.span obs "distributed.wave" (fun () ->
+              Obs.note obs "delta" (Obs.Int delta);
+              Obs.note obs "threshold" (Obs.Int threshold);
+              let over, stats =
+                detection_wave ~seed:(seed + !guesses) ~max_rounds ?tracer ~variant
+                  ~threshold partition info
+              in
+              Obs.add_rounds obs stats.Simulator.rounds;
+              (* A wave buffers up the tree then streams its payload:
+                 O(D + payload) rounds (payload = threshold + 1 words per
+                 deterministic report). *)
+              let per_wave =
+                if payload > 0 then payload else threshold + 1
+              in
+              Obs.bound obs ~metric:"rounds"
+                ~predicted:(float_of_int (d + per_wave + 8))
+                ~observed:(float_of_int stats.Simulator.rounds);
+              (over, stats))
+        in
+        wave_rounds := !wave_rounds + stats.Simulator.rounds;
+        wave_messages := !wave_messages + stats.Simulator.messages;
+        let result =
+          Construct.with_fixed_overcongested ?obs partition ~tree ~over ~threshold
+            ~block_budget:(8 * delta)
+        in
+        if Construct.succeeded result then (result, delta, threshold)
+        else search (2 * delta)
+      in
+      let result, delta, threshold = search initial_delta in
+      Obs.note obs "guesses" (Obs.Int !guesses);
+      {
+        tree;
+        height;
+        delta;
+        threshold;
+        result;
+        bfs_stats;
+        wave_rounds = !wave_rounds;
+        wave_messages = !wave_messages;
+        guesses = !guesses;
+      })
 
 (* --- Fault-tolerant pipeline --------------------------------------------- *)
 

@@ -63,6 +63,7 @@ val detection_wave :
     would — use {!construct_outcome} for graceful degradation). *)
 
 val construct :
+  ?obs:Lcs_obs.Obs.t ->
   ?seed:int ->
   ?variant:variant ->
   ?max_rounds:int ->
@@ -75,7 +76,11 @@ val construct :
     {!default_repetitions}; [seed] (default 1) drives the hash functions;
     [max_rounds] bounds each simulator run (default 2_000_000). [tracer]
     observes every stage — the BFS and each detection wave feed the same
-    sink, so one profile covers the whole construction. *)
+    sink, so one profile covers the whole construction. [?obs] opens a
+    ["distributed"] span with one ["distributed.bfs"] child and one
+    ["distributed.wave"] child per δ guess (each carrying its simulated
+    rounds and a rounds-vs-[O(D + payload)] ledger entry), the accepted
+    guess's {!Construct} spans nested alongside. *)
 
 (** {1 Fault-tolerant pipeline} *)
 

@@ -95,6 +95,80 @@ let part_blocks sc i =
   Hashtbl.iter (fun v () -> Hashtbl.replace roots (Union_find.find uf v) ()) involved;
   Hashtbl.length roots
 
+type part_traffic = {
+  part : int;
+  hi_edges : int;
+  internal_edges : int;
+  words : float;
+  share : float;
+  max_load : int;
+}
+
+(* Attribute a per-edge word count (a [Trace.Profile.edge_words] array) to
+   parts. Every edge of G[P_i] + H_i contributes to part i; an edge used by
+   several parts (H-set overlap, or an internal edge another part shortcuts
+   through) is split evenly among its users, so the per-part words sum to
+   the total words on attributed edges. *)
+let traffic sc ~edge_words =
+  let host = Shortcut.graph sc in
+  let partition = Shortcut.partition sc in
+  let m = Graph.m host in
+  if Array.length edge_words <> m then
+    invalid_arg "Quality.traffic: edge_words length <> Graph.m";
+  let k = Shortcut.k sc in
+  let load = edge_load sc in
+  (* users(e) = H-set multiplicity + 1 if e is internal to some part. *)
+  let users = Array.copy load in
+  for e = 0 to m - 1 do
+    let u, v = Graph.edge_endpoints host e in
+    let pu = Partition.part_of partition u in
+    if pu >= 0 && pu = Partition.part_of partition v then
+      users.(e) <- users.(e) + 1
+  done;
+  let total = Array.fold_left (fun a w -> a +. float_of_int w) 0. edge_words in
+  Array.init k (fun i ->
+      let words = ref 0. in
+      let internal_edges = ref 0 in
+      let max_load = ref 0 in
+      Array.iter
+        (fun v ->
+          Graph.iter_adj host v (fun w e ->
+              if v < w && Partition.part_of partition w = i then begin
+                incr internal_edges;
+                words := !words +. (float_of_int edge_words.(e) /. float_of_int users.(e))
+              end))
+        (Partition.members partition i);
+      let hi = Shortcut.edges_array sc i in
+      Array.iter
+        (fun e ->
+          if load.(e) > !max_load then max_load := load.(e);
+          words := !words +. (float_of_int edge_words.(e) /. float_of_int users.(e)))
+        hi;
+      {
+        part = i;
+        hi_edges = Array.length hi;
+        internal_edges = !internal_edges;
+        words = !words;
+        share = (if total > 0. then !words /. total else 0.);
+        max_load = !max_load;
+      })
+
+let traffic_to_json tr =
+  Lcs_util.Json.List
+    (Array.to_list
+       (Array.map
+          (fun p ->
+            Lcs_util.Json.Obj
+              [
+                ("part", Lcs_util.Json.Int p.part);
+                ("hi_edges", Lcs_util.Json.Int p.hi_edges);
+                ("internal_edges", Lcs_util.Json.Int p.internal_edges);
+                ("words", Lcs_util.Json.Float p.words);
+                ("share", Lcs_util.Json.Float p.share);
+                ("max_load", Lcs_util.Json.Int p.max_load);
+              ])
+          tr))
+
 let measure ?exact_limit sc =
   let k = Shortcut.k sc in
   let per_part_dilation = Array.make k (-1) in

@@ -39,4 +39,23 @@ val part_blocks : Shortcut.t -> int -> int
 
 val measure : ?exact_limit:int -> Shortcut.t -> report
 
+type part_traffic = {
+  part : int;
+  hi_edges : int;  (** [|H_i|] *)
+  internal_edges : int;  (** host edges internal to [P_i] *)
+  words : float;  (** fair share of the traced words on [G[P_i] + H_i] *)
+  share : float;  (** [words] as a fraction of all traced words *)
+  max_load : int;  (** worst Def 2.2 load over the part's [H_i] edges *)
+}
+
+val traffic : Shortcut.t -> edge_words:int array -> part_traffic array
+(** Join a per-edge word-count array (e.g.
+    [Lcs_congest.Trace.Profile.edge_words]) against the shortcut: each
+    part is attributed the words on its [G[P_i] + H_i] edges, with an
+    edge used by several parts split evenly among its users, so the
+    attributed words sum to the words on shortcut-relevant edges. Raises
+    [Invalid_argument] if the array length is not [Graph.m host]. *)
+
+val traffic_to_json : part_traffic array -> Lcs_util.Json.t
+
 val pp_report : Format.formatter -> report -> unit

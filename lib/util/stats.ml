@@ -5,7 +5,9 @@ type summary = {
   min : float;
   max : float;
   median : float;
+  p50 : float;
   p90 : float;
+  p99 : float;
 }
 
 let mean xs =
@@ -38,15 +40,31 @@ let summarize xs =
   if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
   let mn = Array.fold_left Float.min xs.(0) xs in
   let mx = Array.fold_left Float.max xs.(0) xs in
+  let p50 = percentile xs 50. in
   {
     count = Array.length xs;
     mean = mean xs;
     stddev = stddev xs;
     min = mn;
     max = mx;
-    median = percentile xs 50.;
+    median = p50;
+    p50;
     p90 = percentile xs 90.;
+    p99 = percentile xs 99.;
   }
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
 
 let of_ints = Array.map float_of_int
 

@@ -6,12 +6,18 @@ type summary = {
   stddev : float;  (** sample standard deviation (n-1 denominator) *)
   min : float;
   max : float;
-  median : float;
+  median : float;  (** alias of [p50], kept for existing callers *)
+  p50 : float;
   p90 : float;  (** 90th percentile, linear interpolation *)
+  p99 : float;
 }
 
 val summarize : float array -> summary
 (** Raises [Invalid_argument] on an empty array. *)
+
+val summary_to_json : summary -> Json.t
+(** [count]/[mean]/[stddev]/[min]/[max]/[p50]/[p90]/[p99] as a JSON
+    object ([median] is not repeated — it equals [p50]). *)
 
 val mean : float array -> float
 val stddev : float array -> float
