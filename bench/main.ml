@@ -182,12 +182,25 @@ let write_json path rows =
   Printf.printf "wrote %s\n" path
 
 let () =
+  (* main.exe [--no-tables] [PATH]: kernels always run and land in the
+     JSON report (default BENCH_kernels.json at the repo root, where CI
+     picks it up); --no-tables skips the experiment-table sweep, which
+     dominates the wall time and has its own harness. *)
+  let json_path = ref "BENCH_kernels.json" in
+  let tables = ref true in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--no-tables" -> tables := false
+        | path -> json_path := path)
+    Sys.argv;
   let rows = benchmark () in
-  let json_path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_kernels.json"
-  in
-  write_json json_path rows;
-  print_newline ();
-  print_endline "=== experiment tables (one per paper claim; see EXPERIMENTS.md) ===";
-  print_newline ();
-  Lcs_experiments.Registry.run_all ~seed:1 ()
+  write_json !json_path rows;
+  if !tables then begin
+    print_newline ();
+    print_endline
+      "=== experiment tables (one per paper claim; see EXPERIMENTS.md) ===";
+    print_newline ();
+    Lcs_experiments.Registry.run_all ~seed:1 ()
+  end

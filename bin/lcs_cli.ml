@@ -142,13 +142,13 @@ let shortcut_cmd =
        simulator — that is where shortcut construction has a genuine
        CONGEST event stream (BFS + detection waves). *)
     (if obs <> None then begin
-       let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+       let recorder, profile, tracer = Report.tracing g ~on:true in
        let o = Distributed.construct ?obs ?tracer partition ~root:0 in
        Printf.printf
          "distributed pipeline: delta=%d guesses=%d bfs_rounds=%d wave_rounds=%d\n"
          o.Distributed.delta o.Distributed.guesses
          o.Distributed.bfs_stats.Simulator.rounds o.Distributed.wave_rounds;
-       match trace with
+       (match trace with
        | None -> ()
        | Some path ->
            let profile = Option.get profile in
@@ -178,9 +178,9 @@ let shortcut_cmd =
                  path
                  (Trace.Profile.total_words profile)
                  (Trace.Profile.edges_used profile)
-                 (Trace.Profile.rounds profile))
+                 (Trace.Profile.rounds profile)));
+       Report.write_spans ?recorder spans obs
      end);
-    Report.write_spans spans obs;
     0
   in
   let full_arg =
@@ -208,10 +208,11 @@ let shortcut_cmd =
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace =
+  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans =
     (* Fault-injection mode: the enforced simulator run (the same protocol
        --trace exercises) under a compiled plan, classified and validated
-       by Sim_aggregate.minimum_outcome instead of asserted correct. *)
+       by Sim_aggregate.minimum_outcome instead of asserted correct. The
+       Obs collector runs here too, so --spans composes with --faults. *)
     let plan =
       match Fault.load_plan fpath with
       | Ok plan -> plan
@@ -220,15 +221,16 @@ let pa_cmd =
           exit 1
     in
     let injector = Fault.compile ?seed:fault_seed plan in
+    let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     let recorder = Trace.Recorder.create () in
     let profile = Trace.Profile.create ~edges:(Graph.m g) () in
     let tracer =
-      if trace = None then None
+      if trace = None && spans = None then None
       else
         Some (Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ])
     in
     let o =
-      Sim_aggregate.minimum_outcome ?tracer ~faults:injector
+      Sim_aggregate.minimum_outcome ?obs ?tracer ~faults:injector
         (Rng.create (seed + 7)) sc ~values
     in
     let r = Outcome.value o in
@@ -258,8 +260,8 @@ let pa_cmd =
        delays=%d crashes=%d\n"
       counts.Fault.drops counts.Fault.link_down_drops counts.Fault.to_crashed
       counts.Fault.duplicates counts.Fault.delays counts.Fault.crashes;
-    match trace with
-    | None -> 0
+    (match trace with
+    | None -> ()
     | Some path ->
         let doc =
           Report.assemble ~command:"pa" ~protocol:"sim_aggregate.minimum_outcome"
@@ -286,13 +288,14 @@ let pa_cmd =
                     (Quality.traffic sc
                        ~edge_words:(Trace.Profile.edge_words profile)) );
               ]
-            ~profile ~recorder ()
+            ~profile ~recorder ?obs ()
         in
         Report.write_json path doc ~describe:(fun () ->
             Printf.printf "trace: wrote %s (%d events, %d fault events)\n" path
               (Trace.Recorder.length recorder)
-              (Trace.Profile.fault_events profile));
-        0
+              (Trace.Profile.fault_events profile)));
+    Report.write_spans ~recorder spans obs;
+    0
   in
   let run family parts seed trace spans faults fault_seed =
     let g, shape = build_family seed family in
@@ -302,10 +305,7 @@ let pa_cmd =
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
     match faults with
-    | Some fpath ->
-        if spans <> None then
-          Printf.eprintf "lcs: --spans is not available with --faults (no collector runs)\n";
-        run_faulty g sc values ~seed ~fpath ~fault_seed ~trace
+    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -319,9 +319,9 @@ let pa_cmd =
        (* The traced run is the genuine CONGEST execution (Sim_aggregate):
           every transmission crosses the simulator's enforced 1-word
           bandwidth and lands in the event stream. *)
-       let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+       let recorder, profile, tracer = Report.tracing g ~on:true in
        let sim = Sim_aggregate.minimum ?obs ?tracer (Rng.create (seed + 7)) sc ~values in
-       match trace with
+       (match trace with
        | None -> ()
        | Some path ->
            let recorder = Option.get recorder and profile = Option.get profile in
@@ -347,9 +347,9 @@ let pa_cmd =
                  (Trace.Recorder.length recorder)
                  (Trace.Profile.total_words profile)
                  (Trace.Profile.edges_used profile)
-                 (Trace.Profile.rounds profile))
+                 (Trace.Profile.rounds profile)));
+       Report.write_spans ?recorder spans obs
      end);
-    Report.write_spans spans obs;
     0
   in
   let trace_arg =
@@ -373,7 +373,7 @@ let pa_cmd =
                    the aggregation runs on the enforced simulator under the \
                    compiled plan and reports a validated complete/degraded \
                    outcome plus injected-fault counts; composes with --trace \
-                   (fault events appear in the stream)")
+                   (fault events appear in the stream) and --spans")
   in
   let fault_seed_arg =
     Arg.(value & opt (some int) None
@@ -400,7 +400,7 @@ let mst_cmd =
       | other -> invalid_arg ("unknown mode " ^ other)
     in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
-    let recorder, profile, tracer = Report.tracing g ~on:(trace <> None) in
+    let recorder, profile, tracer = Report.tracing g ~on:(obs <> None) in
     let result = Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode w in
     let ok = result.Mst.edges = Kruskal.mst w in
     Printf.printf
@@ -434,7 +434,7 @@ let mst_cmd =
               (Trace.Recorder.length recorder)
               (Trace.Profile.total_words profile)
               (Trace.Profile.edges_used profile)));
-    Report.write_spans spans obs;
+    Report.write_spans ?recorder spans obs;
     0
   in
   let mode_arg =
@@ -549,6 +549,93 @@ let certificate_cmd =
        ~doc:"force a failed run and extract a dense-minor certificate")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ threshold_arg $ budget_arg)
 
+(* --- analyze subcommand ------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run path json_out flows_out =
+    let contents =
+      match open_in_bin path with
+      | ic ->
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          s
+      | exception Sys_error msg ->
+          Printf.eprintf "lcs: cannot read %s: %s\n" path msg;
+          exit 1
+    in
+    let doc =
+      match Json.of_string contents with
+      | Ok doc -> doc
+      | Error msg ->
+          Printf.eprintf "lcs: %s: invalid JSON: %s\n" path msg;
+          exit 1
+    in
+    let runs =
+      match Analyze.of_json doc with
+      | Ok runs -> runs
+      | Error msg ->
+          Printf.eprintf "lcs: %s: %s\n" path msg;
+          exit 1
+    in
+    if runs = [] then Printf.printf "%s: no simulator runs in trace\n" path;
+    List.iter (fun r -> print_string (Analyze.to_text r)) runs;
+    (match json_out with
+    | None -> ()
+    | Some p ->
+        Report.write_json p (Analyze.to_json runs) ~describe:(fun () ->
+            Printf.printf "analysis: wrote %s (%d runs)\n" p (List.length runs)));
+    (match flows_out with
+    | None -> ()
+    | Some p ->
+        let evs = List.concat_map Analyze.flow_events runs in
+        Report.write_json p
+          (Json.Obj
+             [
+               ("traceEvents", Json.List evs);
+               ("displayTimeUnit", Json.String "ms");
+             ])
+          ~describe:(fun () ->
+            Printf.printf "flows: wrote %s (%d trace events)\n" p
+              (List.length evs)));
+    (* A fault-free run whose decomposition misses the round count would
+       falsify the telescoping identity — treat it as a hard error. *)
+    if
+      List.exists
+        (fun r -> (not r.Analyze.faulty) && not r.Analyze.exact)
+        runs
+    then begin
+      Printf.eprintf
+        "lcs: analyze: fault-free run decomposition does not sum to its \
+         round count\n";
+      1
+    end
+    else 0
+  in
+  let trace_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"run report written by pa/shortcut/mst --trace (or a bare \
+                   event array)")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"also write the analysis as lcs-analyze/1 JSON to $(docv)")
+  in
+  let flows_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flows" ] ~docv:"PATH"
+             ~doc:"also write the critical path as Chrome trace-event JSON \
+                   with flow arrows (Perfetto-loadable) to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"reconstruct the causal DAG of a recorded trace, print its \
+             critical path and the transit/queueing decomposition of the \
+             round count")
+    Term.(const run $ trace_pos $ json_arg $ flows_arg)
+
 (* --- experiment passthrough -------------------------------------------------- *)
 
 let experiment_cmd =
@@ -575,4 +662,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; export_cmd; certificate_cmd;
-            experiment_cmd ]))
+            analyze_cmd; experiment_cmd ]))

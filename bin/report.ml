@@ -55,11 +55,34 @@ let write_json path doc ~describe =
       Printf.eprintf "lcs: cannot write %s: %s\n" path msg;
       exit 1
 
-(* Write the collector's span tree as Chrome trace-event JSON (--spans). *)
-let write_spans spans obs =
+(* Write the collector's span tree as Chrome trace-event JSON (--spans).
+   When a recorder captured the run's event stream, the critical path of
+   each run rides along as flow events (Perfetto arrows between causally
+   linked sends) on synthetic processes next to the wall-clock spans. *)
+let write_spans ?recorder spans obs =
   match (spans, obs) with
   | Some path, Some o ->
-      write_json path (Obs.to_chrome_json o) ~describe:(fun () ->
+      let flows =
+        match recorder with
+        | None -> []
+        | Some r ->
+            List.concat_map Analyze.flow_events
+              (Analyze.of_events (Trace.Recorder.events r))
+      in
+      let doc =
+        match (flows, Obs.to_chrome_json o) with
+        | [], doc -> doc
+        | flows, Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (function
+                   | "traceEvents", Json.List evs ->
+                       ("traceEvents", Json.List (evs @ flows))
+                   | field -> field)
+                 fields)
+        | _, doc -> doc
+      in
+      write_json path doc ~describe:(fun () ->
           Printf.printf "spans: wrote %s (%d spans, max depth %d)\n" path
             (Obs.span_count o) (Obs.max_depth o))
   | _ -> ()

@@ -17,6 +17,9 @@ let program info ~value =
         in
         match st.value with
         | Some v when not st.sent ->
+            (* The triggering delivery (if any) arrived this round, so the
+               inbox default parents are already exact. *)
+            Trace.Cause.tag ~part:(-1) ~phase:"broadcast";
             let ports = info.Tree_info.nodes.(ctx.Simulator.node).Tree_info.child_ports in
             ( { st with sent = true },
               Array.to_list (Array.map (fun p -> (p, v)) ports) )

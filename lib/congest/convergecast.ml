@@ -21,10 +21,15 @@ let run ?tracer g info ~values ~combine =
               st inbox
           in
           let node = info.Tree_info.nodes.(ctx.Simulator.node) in
-          if st.waiting = 0 && not st.sent then
+          if st.waiting = 0 && not st.sent then begin
+            (* The last child contribution arrived this round (leaves fire
+               with an empty inbox), so the inbox default parents are
+               already exact. *)
+            Trace.Cause.tag ~part:(-1) ~phase:"convergecast";
             if node.Tree_info.parent_port >= 0 then
               ({ st with sent = true }, [ (node.Tree_info.parent_port, st.acc) ])
             else ({ st with sent = true }, [])
+          end
           else (st, []))
       ;
       is_halted = (fun st -> st.sent);

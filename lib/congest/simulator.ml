@@ -110,10 +110,12 @@ let rec build_inbox ports msgs i acc =
   else build_inbox ports msgs (i - 1) ((Vec.get ports i, Vec.get msgs i) :: acc)
 
 (* A delivery parked in the delayed ring. Source, edge and size ride along
-   so a crash-time purge can report exactly what it discarded. *)
+   so a crash-time purge can report exactly what it discarded; [p_id] is
+   the causal message id (0 when the run is untraced). *)
 type 'msg pending = {
   p_dst : int;
   p_port : int;
+  p_id : int;
   p_src : int;
   p_edge : int;
   p_words : int;
@@ -134,6 +136,9 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
           neighbor_edges = Array.sub csr.port_edge off len;
         })
   in
+  (* The run owns the ambient Cause state: ids restart at 1 and are drawn
+     in trace-event order, which both cores emit identically. *)
+  Trace.Cause.start_run ~enabled:(tracer <> None);
   let states = Array.map program.init ctxs in
   let halted = Array.map program.is_halted states in
   let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
@@ -152,6 +157,14 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
   let cur_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
   let nxt_ports = ref (inbox_vecs ()) in
   let nxt_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
+  (* Parallel per-message causal ids, maintained only when traced so the
+     untraced path allocates nothing extra. *)
+  let cur_ids : int Vec.t array ref =
+    ref (match tracer with None -> [||] | Some _ -> inbox_vecs ())
+  in
+  let nxt_ids : int Vec.t array ref =
+    ref (match tracer with None -> [||] | Some _ -> inbox_vecs ())
+  in
   (* Per-round, per-port word budget, flat. [touched] remembers which
      slots are dirty so the end-of-round clear is O(messages), not
      O(ports). *)
@@ -243,6 +256,12 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
         let w = csr.port_neighbor.(slot) in
         let back = csr.port_reverse.(slot) in
         let edge = csr.port_edge.(slot) in
+        (* The causal declaration is consumed once per outgoing message, in
+           outbox order, even when the network then drops it — otherwise the
+           per-port FIFO would drift at bandwidth > 1. *)
+        let cparents, cpart, cphase =
+          match tracer with None -> ([], -1, "") | Some _ -> Trace.Cause.take ~port
+        in
         (match faults with
         | None ->
             incr messages;
@@ -251,7 +270,21 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
             | None -> ()
             | Some t ->
                 if used > !round_max then round_max := used;
-                t (Trace.Send { round = !rounds; src = v; dst = w; edge; words = size }));
+                let id = Trace.Cause.fresh_id () in
+                t
+                  (Trace.Send
+                     {
+                       round = !rounds;
+                       src = v;
+                       dst = w;
+                       edge;
+                       words = size;
+                       id;
+                       parents = cparents;
+                       part = cpart;
+                       phase = cphase;
+                     });
+                Vec.push (!nxt_ids).(w) id);
             Vec.push (!nxt_ports).(w) back;
             Vec.push (!nxt_msgs).(w) msg
         | Some inj ->
@@ -285,23 +318,50 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
                     (fun i delay ->
                       incr messages;
                       words := !words + size;
-                      (match tracer with
-                      | None -> ()
-                      | Some t ->
-                          if used > !round_max then round_max := used;
-                          if i = 0 then
-                            t
-                              (Trace.Send
-                                 { round = !rounds; src = v; dst = w; edge; words = size })
-                          else
-                            t
-                              (Trace.Duplicate
-                                 { round = !rounds; src = v; dst = w; edge; words = size });
-                          if delay > 0 then
-                            t
-                              (Trace.Delayed
-                                 { round = !rounds; src = v; dst = w; edge; delay }));
+                      let id =
+                        match tracer with
+                        | None -> 0
+                        | Some t ->
+                            if used > !round_max then round_max := used;
+                            let id = Trace.Cause.fresh_id () in
+                            if i = 0 then
+                              t
+                                (Trace.Send
+                                   {
+                                     round = !rounds;
+                                     src = v;
+                                     dst = w;
+                                     edge;
+                                     words = size;
+                                     id;
+                                     parents = cparents;
+                                     part = cpart;
+                                     phase = cphase;
+                                   })
+                            else
+                              t
+                                (Trace.Duplicate
+                                   {
+                                     round = !rounds;
+                                     src = v;
+                                     dst = w;
+                                     edge;
+                                     words = size;
+                                     id;
+                                     parents = cparents;
+                                     part = cpart;
+                                     phase = cphase;
+                                   });
+                            if delay > 0 then
+                              t
+                                (Trace.Delayed
+                                   { round = !rounds; src = v; dst = w; edge; delay });
+                            id
+                      in
                       if delay = 0 then begin
+                        (match tracer with
+                        | None -> ()
+                        | Some _ -> Vec.push (!nxt_ids).(w) id);
                         Vec.push (!nxt_ports).(w) back;
                         Vec.push (!nxt_msgs).(w) msg
                       end
@@ -312,6 +372,7 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
                           {
                             p_dst = w;
                             p_port = back;
+                            p_id = id;
                             p_src = v;
                             p_edge = edge;
                             p_words = size;
@@ -347,7 +408,9 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
                 Vec.clear (!cur_msgs).(v);
                 (match tracer with
                 | None -> ()
-                | Some t -> t (Trace.Crash { round = !rounds; node = v }));
+                | Some t ->
+                    Vec.clear (!cur_ids).(v);
+                    t (Trace.Crash { round = !rounds; node = v }));
                 purge_delayed_to inj v ~round:!rounds
               end)
             (Fault.crashes_at inj ~round:!rounds);
@@ -359,7 +422,10 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
               (fun p ->
                 if not (halted.(p.p_dst) || crashed.(p.p_dst)) then begin
                   Vec.push (!cur_ports).(p.p_dst) p.p_port;
-                  Vec.push (!cur_msgs).(p.p_dst) p.p_msg
+                  Vec.push (!cur_msgs).(p.p_dst) p.p_msg;
+                  match tracer with
+                  | None -> ()
+                  | Some _ -> Vec.push (!cur_ids).(p.p_dst) p.p_id
                 end)
               slot;
             Vec.clear slot
@@ -370,9 +436,18 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
           let inbox = build_inbox ports_v msgs_v (Vec.length ports_v - 1) [] in
           Vec.clear ports_v;
           Vec.clear msgs_v;
+          (match tracer with
+          | None -> ()
+          | Some _ ->
+              let ids_v = (!cur_ids).(v) in
+              Trace.Cause.activate (Vec.to_array ids_v);
+              Vec.clear ids_v);
           let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
           states.(v) <- state;
           deliver v csr.port_offset.(v) outbox;
+          (match tracer with
+          | None -> ()
+          | Some _ -> Trace.Cause.deactivate ());
           if program.is_halted state then begin
             halted.(v) <- true;
             decr live;
@@ -383,7 +458,10 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
         end
         else begin
           Vec.clear ports_v;
-          Vec.clear msgs_v
+          Vec.clear msgs_v;
+          match tracer with
+          | None -> ()
+          | Some _ -> Vec.clear (!cur_ids).(v)
         end
       done;
       for i = 0 to !n_touched - 1 do
@@ -396,6 +474,12 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
       let tm = !cur_msgs in
       cur_msgs := !nxt_msgs;
       nxt_msgs := tm;
+      (match tracer with
+      | None -> ()
+      | Some _ ->
+          let ti = !cur_ids in
+          cur_ids := !nxt_ids;
+          nxt_ids := ti);
       match tracer with
       | None -> ()
       | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })

@@ -69,19 +69,23 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
   let n = Graph.n g in
   let ctxs = Array.init n (make_ctx g) in
   let rev = reverse_ports ctxs in
+  (* The run owns the ambient Cause state: ids restart at 1 and are drawn
+     in trace-event order, which both cores emit identically. *)
+  Trace.Cause.start_run ~enabled:(tracer <> None);
   let states = Array.map program.init ctxs in
   let halted = Array.map program.is_halted states in
   let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
-  (* inboxes.(v) holds (port, msg) in reversed arrival order. *)
-  let inboxes : (int * 'msg) list array = Array.make n [] in
-  let next_inboxes : (int * 'msg) list array = Array.make n [] in
+  (* inboxes.(v) holds (port, causal id, msg) in reversed arrival order;
+     the id is 0 when the run is untraced. *)
+  let inboxes : (int * int * 'msg) list array = Array.make n [] in
+  let next_inboxes : (int * int * 'msg) list array = Array.make n [] in
   (* Fault bookkeeping; untouched (and unallocated beyond the array) when
      [faults] is absent, so the fault-free path stays byte-identical. *)
   let crashed = Array.make n false in
-  (* arrival round -> (dst, port, src, edge, words, msg) in reversed
+  (* arrival round -> (dst, port, id, src, edge, words, msg) in reversed
      scheduling order; src/edge/words ride along so a crash-time purge can
      report what it discarded. *)
-  let delayed : (int, (int * int * int * int * int * 'msg) list) Hashtbl.t =
+  let delayed : (int, (int * int * int * int * int * int * 'msg) list) Hashtbl.t =
     Hashtbl.create 16
   in
   (* A crashed node's pending delayed deliveries are discarded with it:
@@ -94,12 +98,12 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
       (fun r ->
         let entries = Hashtbl.find delayed r in
         let kept, dropped =
-          List.partition (fun (dst, _, _, _, _, _) -> dst <> v) entries
+          List.partition (fun (dst, _, _, _, _, _, _) -> dst <> v) entries
         in
         if dropped <> [] then begin
           Hashtbl.replace delayed r kept;
           List.iter
-            (fun (_, _, src, edge, words, _) ->
+            (fun (_, _, _, src, edge, words, _) ->
               Fault.note_to_crashed inj;
               match tracer with
               | None -> ()
@@ -152,16 +156,31 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
           | Some arrivals ->
               Hashtbl.remove delayed !rounds;
               List.iter
-                (fun (dst, port, _src, _edge, _words, msg) ->
+                (fun (dst, port, id, _src, _edge, _words, msg) ->
                   if not (halted.(dst) || crashed.(dst)) then
-                    inboxes.(dst) <- (port, msg) :: inboxes.(dst))
+                    inboxes.(dst) <- (port, id, msg) :: inboxes.(dst))
                 (List.rev arrivals));
       (* Per-round, per-(node, port) word budget. *)
       let budget = Hashtbl.create 64 in
       for v = 0 to n - 1 do
         if not (halted.(v) || crashed.(v)) then begin
-          let inbox = List.rev inboxes.(v) in
+          let inbox_r = inboxes.(v) in
           inboxes.(v) <- [];
+          let inbox = List.rev_map (fun (p, _, m) -> (p, m)) inbox_r in
+          (match tracer with
+          | None -> ()
+          | Some _ ->
+              (* [inbox_r] is newest-first; fill the ids array back-to-front
+                 so it parallels [inbox]'s arrival order. *)
+              let k = List.length inbox_r in
+              let ids = Array.make k 0 in
+              let i = ref (k - 1) in
+              List.iter
+                (fun (_, id, _) ->
+                  ids.(!i) <- id;
+                  decr i)
+                inbox_r;
+              Trace.Cause.activate ids);
           let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
           states.(v) <- state;
           List.iter
@@ -183,16 +202,41 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
               let w = ctx.neighbors.(port) in
               let back = rev.(v).(port) in
               let edge = ctx.neighbor_edges.(port) in
+              (* The causal declaration is consumed once per outgoing
+                 message, in outbox order, even when the network then drops
+                 it — otherwise the per-port FIFO would drift at
+                 bandwidth > 1. *)
+              let cparents, cpart, cphase =
+                match tracer with
+                | None -> ([], -1, "")
+                | Some _ -> Trace.Cause.take ~port
+              in
               match faults with
               | None ->
                   incr messages;
                   words := !words + size;
-                  (match tracer with
-                  | None -> ()
-                  | Some t ->
-                      if used > !round_max then round_max := used;
-                      t (Trace.Send { round = !rounds; src = v; dst = w; edge; words = size }));
-                  next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
+                  let id =
+                    match tracer with
+                    | None -> 0
+                    | Some t ->
+                        if used > !round_max then round_max := used;
+                        let id = Trace.Cause.fresh_id () in
+                        t
+                          (Trace.Send
+                             {
+                               round = !rounds;
+                               src = v;
+                               dst = w;
+                               edge;
+                               words = size;
+                               id;
+                               parents = cparents;
+                               part = cpart;
+                               phase = cphase;
+                             });
+                        id
+                  in
+                  next_inboxes.(w) <- (back, id, msg) :: next_inboxes.(w)
               | Some inj ->
                   (* The transmission consumed its slot on the wire either
                      way (the budget above); what the network then does to
@@ -226,24 +270,48 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
                           (fun i delay ->
                             incr messages;
                             words := !words + size;
-                            (match tracer with
-                            | None -> ()
-                            | Some t ->
-                                if used > !round_max then round_max := used;
-                                if i = 0 then
-                                  t
-                                    (Trace.Send
-                                       { round = !rounds; src = v; dst = w; edge; words = size })
-                                else
-                                  t
-                                    (Trace.Duplicate
-                                       { round = !rounds; src = v; dst = w; edge; words = size });
-                                if delay > 0 then
-                                  t
-                                    (Trace.Delayed
-                                       { round = !rounds; src = v; dst = w; edge; delay }));
+                            let id =
+                              match tracer with
+                              | None -> 0
+                              | Some t ->
+                                  if used > !round_max then round_max := used;
+                                  let id = Trace.Cause.fresh_id () in
+                                  if i = 0 then
+                                    t
+                                      (Trace.Send
+                                         {
+                                           round = !rounds;
+                                           src = v;
+                                           dst = w;
+                                           edge;
+                                           words = size;
+                                           id;
+                                           parents = cparents;
+                                           part = cpart;
+                                           phase = cphase;
+                                         })
+                                  else
+                                    t
+                                      (Trace.Duplicate
+                                         {
+                                           round = !rounds;
+                                           src = v;
+                                           dst = w;
+                                           edge;
+                                           words = size;
+                                           id;
+                                           parents = cparents;
+                                           part = cpart;
+                                           phase = cphase;
+                                         });
+                                  if delay > 0 then
+                                    t
+                                      (Trace.Delayed
+                                         { round = !rounds; src = v; dst = w; edge; delay });
+                                  id
+                            in
                             if delay = 0 then
-                              next_inboxes.(w) <- (back, msg) :: next_inboxes.(w)
+                              next_inboxes.(w) <- (back, id, msg) :: next_inboxes.(w)
                             else begin
                               let at = !rounds + 1 + delay in
                               let pending =
@@ -252,11 +320,14 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
                                 | None -> []
                               in
                               Hashtbl.replace delayed at
-                                ((w, back, v, edge, size, msg) :: pending)
+                                ((w, back, id, v, edge, size, msg) :: pending)
                             end)
                           delays
                   end)
             outbox;
+          (match tracer with
+          | None -> ()
+          | Some _ -> Trace.Cause.deactivate ());
           if program.is_halted state then begin
             halted.(v) <- true;
             decr live;

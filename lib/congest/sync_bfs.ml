@@ -26,6 +26,10 @@ type state = {
   best_height : int;
   global_height : int;
   announce_clock : int;
+  join_cause : int;
+      (** causal id of the adopted Join message (0 when untraced or at the
+          root) — the announce-clock timer fires two rounds later, so the
+          causal link must be carried in state *)
 }
 
 let initial is_root _ctx =
@@ -40,44 +44,65 @@ let initial is_root _ctx =
     best_height = -1;
     global_height = -1;
     announce_clock = -1;
+    join_cause = 0;
   }
 
 let words = function Join _ | Child | Height _ | Gheight _ -> 1
 
+(* Inbox position of the message being absorbed. Module-level scratch (the
+   simulator activates nodes sequentially) so [absorb] stays a static
+   closure: a per-activation [ref] would put three words on the minor heap
+   for every activation of every untraced run. *)
+let fold_idx = ref (-1)
+
+let absorb st (port, msg) =
+  incr fold_idx;
+  match msg with
+  | Join d ->
+      if st.dist < 0 then
+        {
+          st with
+          dist = d + 1;
+          parent_port = port;
+          phase = Announce;
+          join_cause =
+            (let ids = Trace.Cause.inbox () in
+             if !fold_idx < Array.length ids then ids.(!fold_idx) else 0);
+        }
+      else st
+  | Child ->
+      (* Idempotent against injected duplicates: registering the same
+         port twice would later fan two Gheight copies through one
+         port in one round, breaching the bandwidth budget. *)
+      if List.mem port st.children then st
+      else { st with children = port :: st.children }
+  | Height h ->
+      if List.mem port st.reported then st
+      else
+        {
+          st with
+          reported = port :: st.reported;
+          best_height = max st.best_height h;
+          heights_needed = st.heights_needed - 1;
+        }
+  | Gheight h -> { st with global_height = h }
+
 let on_round ctx state ~inbox =
   let state = { state with clock = state.clock + 1 } in
   (* 1. Absorb messages. *)
-  let state =
-    List.fold_left
-      (fun st (port, msg) ->
-        match msg with
-        | Join d ->
-            if st.dist < 0 then
-              { st with dist = d + 1; parent_port = port; phase = Announce }
-            else st
-        | Child ->
-            (* Idempotent against injected duplicates: registering the same
-               port twice would later fan two Gheight copies through one
-               port in one round, breaching the bandwidth budget. *)
-            if List.mem port st.children then st
-            else { st with children = port :: st.children }
-        | Height h ->
-            if List.mem port st.reported then st
-            else
-              {
-                st with
-                reported = port :: st.reported;
-                best_height = max st.best_height h;
-                heights_needed = st.heights_needed - 1;
-              }
-        | Gheight h -> { st with global_height = h })
-      state inbox
-  in
+  fold_idx := -1;
+  let state = List.fold_left absorb state inbox in
   (* 2. Act according to phase. *)
   let degree = Array.length ctx.Simulator.neighbors in
   match state.phase with
   | Idle -> (state, [])
   | Announce ->
+      (* The adopted Join arrived this very round, but the inbox may also
+         hold announcements we did not adopt — declare the real cause. *)
+      if Trace.Cause.enabled () then begin
+        Trace.Cause.tag ~part:(-1) ~phase:"bfs.announce";
+        if state.join_cause > 0 then Trace.Cause.parents [ state.join_cause ]
+      end;
       let out = ref [] in
       for port = 0 to degree - 1 do
         if port <> state.parent_port then out := (port, Join state.dist) :: !out
@@ -94,9 +119,16 @@ let on_round ctx state ~inbox =
           if state.parent_port < 0 then
             (* Root with no children: trivial single-node tree. *)
             ({ state with phase = Finished; global_height = 0 }, [])
-          else
+          else begin
+            (* Timer-gated: caused by the Join adopted two rounds ago, not
+               by anything in this round's (empty) inbox. *)
+            if Trace.Cause.enabled () then begin
+              Trace.Cause.tag ~part:(-1) ~phase:"bfs.height";
+              if state.join_cause > 0 then Trace.Cause.parents [ state.join_cause ]
+            end;
             ( { state with phase = Wait_height },
               [ (state.parent_port, Height state.dist) ] )
+          end
         else
           ( { state with phase = Gather; heights_needed = nchildren;
               best_height = state.dist },
@@ -105,18 +137,25 @@ let on_round ctx state ~inbox =
       else (state, [])
   | Gather ->
       if state.heights_needed = 0 then
-        if state.parent_port < 0 then
-          (* Root: learned the height; broadcast down. *)
+        if state.parent_port < 0 then begin
+          (* Root: learned the height; broadcast down. The triggering
+             Height messages arrived this round — inbox default is right. *)
+          Trace.Cause.tag ~part:(-1) ~phase:"bfs.gheight";
           ( { state with phase = Finished; global_height = state.best_height },
             List.map (fun p -> (p, Gheight state.best_height)) state.children )
-        else
+        end
+        else begin
+          Trace.Cause.tag ~part:(-1) ~phase:"bfs.height";
           ( { state with phase = Wait_height },
             [ (state.parent_port, Height state.best_height) ] )
+        end
       else (state, [])
   | Wait_height ->
-      if state.global_height >= 0 then
+      if state.global_height >= 0 then begin
+        Trace.Cause.tag ~part:(-1) ~phase:"bfs.gheight";
         ( { state with phase = Finished },
           List.map (fun p -> (p, Gheight state.global_height)) state.children )
+      end
       else (state, [])
   | Finished -> (state, [])
 

@@ -2,11 +2,31 @@ module Json = Lcs_util.Json
 
 type event =
   | Round_start of { round : int; live : int }
-  | Send of { round : int; src : int; dst : int; edge : int; words : int }
+  | Send of {
+      round : int;
+      src : int;
+      dst : int;
+      edge : int;
+      words : int;
+      id : int;
+      parents : int list;
+      part : int;
+      phase : string;
+    }
   | Halt of { round : int; node : int }
   | Round_end of { round : int; max_edge_load : int }
   | Drop of { round : int; src : int; dst : int; edge : int; words : int }
-  | Duplicate of { round : int; src : int; dst : int; edge : int; words : int }
+  | Duplicate of {
+      round : int;
+      src : int;
+      dst : int;
+      edge : int;
+      words : int;
+      id : int;
+      parents : int list;
+      part : int;
+      phase : string;
+    }
   | Delayed of { round : int; src : int; dst : int; edge : int; delay : int }
   | Link_down of { round : int; edge : int }
   | Crash of { round : int; node : int }
@@ -15,19 +35,129 @@ type tracer = event -> unit
 
 let tee tracers event = List.iter (fun t -> t event) tracers
 
+(* --- Causal annotation plane --------------------------------------------- *)
+
+(* Ambient per-run state shared by the message sources (the two simulator
+   cores and the standalone part-wise routers). Everything is plain refs:
+   runs are sequential, the state is reset at every run start, and when the
+   run is untraced [enabled] stays false so every entry point is one load
+   and a branch — the untraced hot path allocates nothing here. *)
+module Cause = struct
+  (* One pending per-port declaration, queued by [emit] and consumed FIFO
+     per port by [take]. *)
+  type override = {
+    o_port : int;
+    o_parents : int list option;
+    o_part : int;
+    o_phase : string;
+  }
+
+  let enabled_flag = ref false
+  let counter = ref 0
+  let cur_inbox : int array ref = ref [||]
+  let cur_inbox_list : int list ref = ref []
+  let inbox_listed = ref false
+  let act_parents : int list option ref = ref None
+  let act_part = ref (-1)
+  let act_phase = ref ""
+  let overrides : override list ref = ref []
+
+  let clear_activation () =
+    cur_inbox := [||];
+    cur_inbox_list := [];
+    inbox_listed := false;
+    act_parents := None;
+    act_part := -1;
+    act_phase := "";
+    overrides := []
+
+  let start_run ~enabled =
+    enabled_flag := enabled;
+    counter := 0;
+    clear_activation ()
+
+  let enabled () = !enabled_flag
+
+  let fresh_id () =
+    incr counter;
+    !counter
+
+  let activate ids =
+    clear_activation ();
+    cur_inbox := ids
+
+  let deactivate () = clear_activation ()
+  let inbox () = !cur_inbox
+
+  let tag ~part ~phase =
+    if !enabled_flag then begin
+      act_part := part;
+      act_phase := phase
+    end
+
+  let parents ps = if !enabled_flag then act_parents := Some ps
+
+  let emit ~port ?parents ~part ~phase () =
+    if !enabled_flag then
+      overrides :=
+        !overrides
+        @ [ { o_port = port; o_parents = parents; o_part = part; o_phase = phase } ]
+
+  (* Default parents: every message delivered to the sender this
+     activation — the sound Lamport-style over-approximation when the
+     protocol declares nothing finer. Listed lazily, once per activation. *)
+  let default_parents () =
+    match !act_parents with
+    | Some ps -> ps
+    | None ->
+        if not !inbox_listed then begin
+          cur_inbox_list := Array.to_list !cur_inbox;
+          inbox_listed := true
+        end;
+        !cur_inbox_list
+
+  let take ~port =
+    let rec pick acc = function
+      | [] -> None
+      | o :: rest when o.o_port = port ->
+          overrides := List.rev_append acc rest;
+          Some o
+      | o :: rest -> pick (o :: acc) rest
+    in
+    match pick [] !overrides with
+    | Some o ->
+        let ps =
+          match o.o_parents with Some ps -> ps | None -> default_parents ()
+        in
+        (ps, o.o_part, o.o_phase)
+    | None -> (default_parents (), !act_part, !act_phase)
+end
+
+(* Schema v2: send/duplicate events carry a per-run monotone [id], the
+   causal [parents] ids, and — only when set — the source's [part] and
+   [phase] labels. All other kinds keep the v1 shape. *)
+let causal_fields ~id ~parents ~part ~phase =
+  [
+    ("id", Json.Int id);
+    ("parents", Json.List (List.map (fun p -> Json.Int p) parents));
+  ]
+  @ (if part >= 0 then [ ("part", Json.Int part) ] else [])
+  @ if phase <> "" then [ ("phase", Json.String phase) ] else []
+
 let event_to_json = function
   | Round_start { round; live } ->
       Json.Obj [ ("t", Json.String "round_start"); ("round", Json.Int round); ("live", Json.Int live) ]
-  | Send { round; src; dst; edge; words } ->
+  | Send { round; src; dst; edge; words; id; parents; part; phase } ->
       Json.Obj
-        [
-          ("t", Json.String "send");
-          ("round", Json.Int round);
-          ("src", Json.Int src);
-          ("dst", Json.Int dst);
-          ("edge", Json.Int edge);
-          ("words", Json.Int words);
-        ]
+        ([
+           ("t", Json.String "send");
+           ("round", Json.Int round);
+           ("src", Json.Int src);
+           ("dst", Json.Int dst);
+           ("edge", Json.Int edge);
+           ("words", Json.Int words);
+         ]
+        @ causal_fields ~id ~parents ~part ~phase)
   | Halt { round; node } ->
       Json.Obj [ ("t", Json.String "halt"); ("round", Json.Int round); ("node", Json.Int node) ]
   | Round_end { round; max_edge_load } ->
@@ -47,16 +177,17 @@ let event_to_json = function
           ("edge", Json.Int edge);
           ("words", Json.Int words);
         ]
-  | Duplicate { round; src; dst; edge; words } ->
+  | Duplicate { round; src; dst; edge; words; id; parents; part; phase } ->
       Json.Obj
-        [
-          ("t", Json.String "duplicate");
-          ("round", Json.Int round);
-          ("src", Json.Int src);
-          ("dst", Json.Int dst);
-          ("edge", Json.Int edge);
-          ("words", Json.Int words);
-        ]
+        ([
+           ("t", Json.String "duplicate");
+           ("round", Json.Int round);
+           ("src", Json.Int src);
+           ("dst", Json.Int dst);
+           ("edge", Json.Int edge);
+           ("words", Json.Int words);
+         ]
+        @ causal_fields ~id ~parents ~part ~phase)
   | Delayed { round; src; dst; edge; delay } ->
       Json.Obj
         [
@@ -73,6 +204,97 @@ let event_to_json = function
   | Crash { round; node } ->
       Json.Obj
         [ ("t", Json.String "crash"); ("round", Json.Int round); ("node", Json.Int node) ]
+
+let event_of_json j =
+  let int ?default key =
+    match Json.member key j with
+    | Some (Json.Int i) -> Ok i
+    | Some _ -> Error (Printf.sprintf "field %S is not an integer" key)
+    | None -> (
+        match default with
+        | Some d -> Ok d
+        | None -> Error (Printf.sprintf "missing field %S" key))
+  in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  (* v1 traces carry no causal fields; default them so old files still
+     parse (the analyzer then reports the missing ids explicitly). *)
+  let causal () =
+    let* id = int ~default:0 "id" in
+    let* part = int ~default:(-1) "part" in
+    let phase =
+      match Json.member "phase" j with Some (Json.String s) -> s | _ -> ""
+    in
+    let* parents =
+      match Json.member "parents" j with
+      | None -> Ok []
+      | Some (Json.List l) ->
+          let* rev =
+            List.fold_left
+              (fun acc v ->
+                let* acc = acc in
+                match v with
+                | Json.Int i -> Ok (i :: acc)
+                | _ -> Error "non-integer parent id")
+              (Ok []) l
+          in
+          Ok (List.rev rev)
+      | Some _ -> Error "\"parents\" is not a list"
+    in
+    Ok (id, parents, part, phase)
+  in
+  match Json.member "t" j with
+  | Some (Json.String "round_start") ->
+      let* round = int "round" in
+      let* live = int "live" in
+      Ok (Round_start { round; live })
+  | Some (Json.String "send") ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* edge = int "edge" in
+      let* words = int "words" in
+      let* id, parents, part, phase = causal () in
+      Ok (Send { round; src; dst; edge; words; id; parents; part; phase })
+  | Some (Json.String "halt") ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Halt { round; node })
+  | Some (Json.String "round_end") ->
+      let* round = int "round" in
+      let* max_edge_load = int "max_edge_load" in
+      Ok (Round_end { round; max_edge_load })
+  | Some (Json.String "drop") ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* edge = int "edge" in
+      let* words = int "words" in
+      Ok (Drop { round; src; dst; edge; words })
+  | Some (Json.String "duplicate") ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* edge = int "edge" in
+      let* words = int "words" in
+      let* id, parents, part, phase = causal () in
+      Ok (Duplicate { round; src; dst; edge; words; id; parents; part; phase })
+  | Some (Json.String "delayed") ->
+      let* round = int "round" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* edge = int "edge" in
+      let* delay = int "delay" in
+      Ok (Delayed { round; src; dst; edge; delay })
+  | Some (Json.String "link_down") ->
+      let* round = int "round" in
+      let* edge = int "edge" in
+      Ok (Link_down { round; edge })
+  | Some (Json.String "crash") ->
+      let* round = int "round" in
+      let* node = int "node" in
+      Ok (Crash { round; node })
+  | Some (Json.String other) -> Error ("unknown event kind " ^ other)
+  | _ -> Error "event object has no \"t\" field"
 
 (* --- growable int array -------------------------------------------------- *)
 

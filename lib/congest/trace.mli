@@ -19,7 +19,22 @@
 type event =
   | Round_start of { round : int; live : int }
       (** a round begins; [live] counts non-halted nodes entering it *)
-  | Send of { round : int; src : int; dst : int; edge : int; words : int }
+  | Send of {
+      round : int;
+      src : int;
+      dst : int;
+      edge : int;
+      words : int;
+      id : int;
+          (** per-run monotone message id, starting at 1; [0] only in
+              hand-built events from sources that do not assign ids *)
+      parents : int list;
+          (** ids of the received messages this send was caused by — the
+              {!Cause} declaration, or every message delivered to [src]
+              this round when nothing finer was declared *)
+      part : int;  (** source part id; [-1] when untagged *)
+      phase : string;  (** protocol phase label; [""] when untagged *)
+    }
       (** one message crosses host edge [edge] from [src] to [dst] *)
   | Halt of { round : int; node : int }  (** [node] halts after this round *)
   | Round_end of { round : int; max_edge_load : int }
@@ -28,7 +43,17 @@ type event =
   | Drop of { round : int; src : int; dst : int; edge : int; words : int }
       (** an injected fault lost this transmission (random loss, or the
           destination had crashed); the words never arrive *)
-  | Duplicate of { round : int; src : int; dst : int; edge : int; words : int }
+  | Duplicate of {
+      round : int;
+      src : int;
+      dst : int;
+      edge : int;
+      words : int;
+      id : int;  (** the extra copy gets its own fresh id *)
+      parents : int list;  (** shared with the original transmission *)
+      part : int;
+      phase : string;
+    }
       (** the network delivered an extra copy of a message on [edge] *)
   | Delayed of { round : int; src : int; dst : int; edge : int; delay : int }
       (** this delivery arrives [delay] rounds later than the synchronous
@@ -46,8 +71,74 @@ val tee : tracer list -> tracer
 (** Fan one event stream out to several collectors. *)
 
 val event_to_json : event -> Lcs_util.Json.t
-(** One event as a [{"t": kind, ...}] object — the trace-file schema
-    documented in README.md. *)
+(** One event as a [{"t": kind, ...}] object — trace schema v2 (send and
+    duplicate events carry ["id"]/["parents"] always, ["part"]/["phase"]
+    only when tagged), documented in README.md. *)
+
+val event_of_json : Lcs_util.Json.t -> (event, string) result
+(** Inverse of {!event_to_json} — the offline analyzer's entry point.
+    Lenient towards v1 traces: missing causal fields default to [id = 0],
+    [parents = []], [part = -1], [phase = ""]. *)
+
+(** Causal annotations for in-flight messages.
+
+    The message sources (both simulator cores and the standalone part-wise
+    routers) assign every traced transmission a per-run monotone id and
+    attach the causal metadata declared here. Protocol code — which only
+    sees ports and payloads — can consult {!inbox} for the ids of the
+    messages just delivered to it and declare what its sends were caused
+    by, plus a part id and phase label for attribution:
+
+    - {!tag} sets the activation-wide part/phase defaults;
+    - {!parents} sets the activation-wide parent set (e.g. an id carried in
+      protocol state when the triggering message arrived rounds earlier);
+    - {!emit} queues a declaration for the next send on one specific port
+      (consumed FIFO per port), overriding the activation defaults.
+
+    When nothing is declared, a send's parents default to every message
+    delivered to the sender in the same activation — sound for synchronous
+    protocols, merely less precise. All calls are no-ops (one load and a
+    branch, no allocation) when the current run is untraced; guard any
+    argument construction with {!enabled}.
+
+    The remaining functions are the source-side half of the contract and
+    are only meant for simulator cores and router engines: {!start_run}
+    resets the id counter at run start, {!fresh_id} draws the next id in
+    trace-event order, {!activate}/{!deactivate} bracket one node
+    activation with its delivered-message ids, and {!take} consumes the
+    declaration for one outgoing message on a port. *)
+module Cause : sig
+  val enabled : unit -> bool
+  (** Is the current run traced? False outside any traced run. *)
+
+  val inbox : unit -> int array
+  (** Ids of the messages delivered to the currently activated node, in
+      inbox order (parallel to the [~inbox] list the program receives).
+      [[||]] when untraced. *)
+
+  val tag : part:int -> phase:string -> unit
+  (** Default part/phase for every send of this activation. *)
+
+  val parents : int list -> unit
+  (** Default parent ids for every send of this activation, replacing the
+      all-of-inbox default. *)
+
+  val emit :
+    port:int -> ?parents:int list -> part:int -> phase:string -> unit -> unit
+  (** Declare the next send on [port]: queued, consumed FIFO per port.
+      [?parents] omitted falls back to the activation default. *)
+
+  (** {2 Source-side (simulator cores and router engines only)} *)
+
+  val start_run : enabled:bool -> unit
+  val fresh_id : unit -> int
+  val activate : int array -> unit
+  val deactivate : unit -> unit
+
+  val take : port:int -> int list * int * string
+  (** [(parents, part, phase)] for the next transmission on [port]; must be
+      called exactly once per outgoing message, in outbox order. *)
+end
 
 (** Retains the full event stream, in order. *)
 module Recorder : sig

@@ -15,6 +15,7 @@ module Vec = Lcs_util.Vec
 
 (* Observability *)
 module Obs = Lcs_obs.Obs
+module Analyze = Lcs_analyze.Analyze
 
 (* Graphs *)
 module Graph = Lcs_graph.Graph

@@ -40,11 +40,15 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
   done;
   let per_part_completion = Array.make k (-1) in
   let incomplete = ref k in
+  (* This engine is its own message source: it owns the ambient Cause ids
+     for the run (0 rides along when untraced). *)
+  Trace.Cause.start_run ~enabled:(tracer <> None);
   (* best.(i) : node -> current best value for part i at that node. *)
   let best = Array.init k (fun _ -> Hashtbl.create 64) in
-  (* Edge-direction queues. Key: edge*2 + dir, dir 0 = towards the higher
+  (* Edge-direction queues holding (part, value, causal id of the arrival
+     that queued it). Key: edge*2 + dir, dir 0 = towards the higher
      endpoint. *)
-  let queues : (int, (int * int) Pqueue.t) Hashtbl.t = Hashtbl.create 256 in
+  let queues : (int, (int * int * int) Pqueue.t) Hashtbl.t = Hashtbl.create 256 in
   let nonempty : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let messages = ref 0 in
   let max_queue = ref 0 in
@@ -56,19 +60,20 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
         Hashtbl.add queues key q;
         q
   in
-  let push_edge part value e ~from =
+  let push_edge part value cause e ~from =
     let u, _v = Graph.edge_endpoints host e in
     let dir = if from = u then 0 else 1 in
     let key = (e * 2) + dir in
     let q = queue_for key in
-    Pqueue.push q ~priority:delay.(part) (part, value);
+    Pqueue.push q ~priority:delay.(part) (part, value, cause);
     if Pqueue.length q > !max_queue then max_queue := Pqueue.length q;
     Hashtbl.replace nonempty key ()
   in
   let round = ref 0 in
   (* Improvement at [node] for [part]: update best, track completion,
-     forward on all other S_i edges. *)
-  let absorb part value node ~via =
+     forward on all other S_i edges. [cause] is the id of the arriving
+     message (0 for round-0 injections). *)
+  let absorb part value cause node ~via =
     let tbl = best.(part) in
     let current = Hashtbl.find_opt tbl node in
     let improves = match current with None -> true | Some b -> value < b in
@@ -85,14 +90,14 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
       | None -> ()
       | Some nbrs ->
           List.iter
-            (fun (e, _nbr) -> if e <> via then push_edge part value e ~from:node)
+            (fun (e, _nbr) -> if e <> via then push_edge part value cause e ~from:node)
             nbrs
     end
   in
   (* Round 0: every assigned vertex injects its own value. *)
   for v = 0 to Graph.n host - 1 do
     let part = Partition.part_of partition v in
-    if part >= 0 then absorb part values.(v) v ~via:(-1)
+    if part >= 0 then absorb part values.(v) 0 v ~via:(-1)
   done;
   while !incomplete > 0 do
     if !round >= max_rounds then
@@ -111,17 +116,33 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
         let served = ref 0 in
         while !served < bandwidth && not (Pqueue.is_empty q) do
           (match Pqueue.pop_min q with
-          | Some (_prio, (part, value)) ->
+          | Some (_prio, (part, value, cause)) ->
               incr messages;
               let e = key / 2 and dir = key mod 2 in
               let u, v = Graph.edge_endpoints host e in
               let dest = if dir = 0 then v else u in
-              (match tracer with
-              | None -> ()
-              | Some t ->
-                  let src = if dir = 0 then u else v in
-                  t (Trace.Send { round = !round; src; dst = dest; edge = e; words = 1 }));
-              arrivals := (part, value, dest, e) :: !arrivals
+              let id =
+                match tracer with
+                | None -> 0
+                | Some t ->
+                    let src = if dir = 0 then u else v in
+                    let id = Trace.Cause.fresh_id () in
+                    t
+                      (Trace.Send
+                         {
+                           round = !round;
+                           src;
+                           dst = dest;
+                           edge = e;
+                           words = 1;
+                           id;
+                           parents = (if cause > 0 then [ cause ] else []);
+                           part;
+                           phase = "pa.flood";
+                         });
+                    id
+              in
+              arrivals := (part, value, id, dest, e) :: !arrivals
           | None -> ());
           incr served
         done;
@@ -130,7 +151,9 @@ let route ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000)
         | Some _ -> if !served > !round_max then round_max := !served);
         if Pqueue.is_empty q then Hashtbl.remove nonempty key)
       keys;
-    List.iter (fun (part, value, dest, e) -> absorb part value dest ~via:e) !arrivals;
+    List.iter
+      (fun (part, value, id, dest, e) -> absorb part value id dest ~via:e)
+      !arrivals;
     match tracer with
     | None -> ()
     | Some t -> t (Trace.Round_end { round = !round; max_edge_load = !round_max })

@@ -3,6 +3,7 @@ module Partition = Lcs_graph.Partition
 module Shortcut = Lcs_shortcut.Shortcut
 module Quality = Lcs_shortcut.Quality
 module Simulator = Lcs_congest.Simulator
+module Trace = Lcs_congest.Trace
 module Rng = Lcs_util.Rng
 module Pqueue = Lcs_util.Pqueue
 module Obs = Lcs_obs.Obs
@@ -18,7 +19,10 @@ type result = {
 type node_state = {
   clock : int;
   best : (int, int) Hashtbl.t;  (* part -> best value seen *)
-  queues : (int * int) Pqueue.t array;  (* per port: (part, value) by delay *)
+  queues : (int * int * int) Pqueue.t array;
+      (* per port: (part, value, causal id of the arrival that queued it —
+         0 for round-0 self-injections) by delay; the cause is simulation
+         metadata, not wire payload, so msg_words stays 1 *)
   last_improved : int;  (* as a part member *)
 }
 
@@ -66,14 +70,14 @@ let setup ?budget rng shortcut ~values =
         Hashtbl.replace part_ports.(v) i ports)
       adj
   done;
-  let enqueue st v part value ~skip_port =
+  let enqueue st v part value cause ~skip_port =
     match Hashtbl.find_opt part_ports.(v) part with
     | None -> ()
     | Some ports ->
         List.iter
           (fun port ->
             if port <> skip_port then
-              Pqueue.push st.queues.(port) ~priority:delay.(part) (part, value))
+              Pqueue.push st.queues.(port) ~priority:delay.(part) (part, value, cause))
           ports
   in
   let program =
@@ -94,16 +98,21 @@ let setup ?budget rng shortcut ~values =
           let part = Partition.part_of partition v in
           if part >= 0 then begin
             Hashtbl.replace st.best part values.(v);
-            enqueue st v part values.(v) ~skip_port:(-1)
+            enqueue st v part values.(v) 0 ~skip_port:(-1)
           end;
           st);
       on_round =
         (fun ctx st ~inbox ->
           let v = ctx.Simulator.node in
           let st = { st with clock = st.clock + 1 } in
+          (* Causal ids of the delivered messages, parallel to [inbox];
+             empty when the run is untraced (then every cause is 0). *)
+          let inbox_ids = Trace.Cause.inbox () in
+          let idx = ref (-1) in
           let st =
             List.fold_left
-              (fun st (port, (part, value)) ->
+              (fun st (port, (part, value, _cause)) ->
+                incr idx;
                 let improves =
                   match Hashtbl.find_opt st.best part with
                   | None -> true
@@ -111,7 +120,10 @@ let setup ?budget rng shortcut ~values =
                 in
                 if improves then begin
                   Hashtbl.replace st.best part value;
-                  enqueue st v part value ~skip_port:port;
+                  let cause =
+                    if !idx < Array.length inbox_ids then inbox_ids.(!idx) else 0
+                  in
+                  enqueue st v part value cause ~skip_port:port;
                   if Partition.part_of partition v = part then
                     { st with last_improved = st.clock }
                   else st
@@ -125,7 +137,12 @@ let setup ?budget rng shortcut ~values =
             Array.iteri
               (fun port q ->
                 match Pqueue.pop_min q with
-                | Some (_prio, msg) -> out := (port, msg) :: !out
+                | Some (_prio, ((part, _value, cause) as msg)) ->
+                    if Trace.Cause.enabled () then
+                      Trace.Cause.emit ~port
+                        ~parents:(if cause > 0 then [ cause ] else [])
+                        ~part ~phase:"pa.flood" ();
+                    out := (port, msg) :: !out
                 | None -> ())
               st.queues;
             (st, !out)
@@ -199,8 +216,9 @@ type report = {
   retransmissions : int;
 }
 
-let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?config rng
-    shortcut ~values =
+let minimum_outcome ?budget ?max_rounds ?obs ?tracer ?faults ?(reliable = true) ?config
+    rng shortcut ~values =
+  Obs.span obs "pa" @@ fun () ->
   (* The ARQ roughly triples per-hop latency (data + ack round trips), so
      the reliable path gets a proportionally larger round budget unless
      the caller pins one. *)
@@ -217,14 +235,20 @@ let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?conf
         in
         Some (8 * ((4 * bound) + 32))
   in
-  let program, budget, host, partition, k, _sched =
-    setup ?budget rng shortcut ~values
+  let program, budget, host, partition, k, sched =
+    Obs.span obs "pa.setup" (fun () -> setup ?budget rng shortcut ~values)
   in
+  Obs.note obs "budget" (Obs.Int budget);
+  Obs.note obs "congestion" (Obs.Int sched.congestion);
+  Obs.note obs "dilation" (Obs.Int sched.dilation);
+  Obs.note obs "max_delay" (Obs.Int sched.max_delay);
+  let profile, tracer = Pa_obs.profiled obs tracer ~edges:(Graph.m host) in
   let max_rounds =
     match max_rounds with
     | Some m -> m
     | None -> if reliable then budget + 512 else budget + 8
   in
+  Obs.enter obs "pa.run";
   let extract result of_states retrans_of dead_of =
     match result with
     | Simulator.Finished (states, stats) ->
@@ -245,6 +269,9 @@ let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?conf
         (fun _ -> 0)
         (fun _ -> [])
   in
+  Pa_obs.record_epochs obs profile ~max_delay:sched.max_delay
+    ~rounds:ostats.Simulator.rounds;
+  Obs.exit obs;
   let crashed = match faults with None -> [] | Some inj -> Fault.crashed_nodes inj in
   let n = Graph.n host in
   let dead = Array.make n false in
@@ -276,6 +303,11 @@ let minimum_outcome ?budget ?max_rounds ?tracer ?faults ?(reliable = true) ?conf
   let completion_round =
     Array.fold_left (fun acc st -> max acc st.last_improved) 0 states
   in
+  Pa_obs.record_ledger obs profile ~congestion:sched.congestion
+    ~predicted_rounds:
+      (Aggregate.bound ~congestion:sched.congestion
+         ~dilation:(max 1 sched.dilation) ~n)
+    ~observed_rounds:completion_round;
   let report = { minima; diverged; completion_round; ostats; retransmissions } in
   Outcome.classify report
     {

@@ -64,6 +64,7 @@ type report = {
 val minimum_outcome :
   ?budget:int ->
   ?max_rounds:int ->
+  ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
   ?reliable:bool ->
@@ -82,4 +83,6 @@ val minimum_outcome :
     exactly the surviving minimum; failing parts are listed in [diverged]
     and their surviving members become the degradation's [affected].
     [Complete] therefore coincides with {!minimum}'s fault-free
-    postcondition when no faults were injected. *)
+    postcondition when no faults were injected. [?obs] opens the same
+    ["pa"]/["pa.setup"]/["pa.run"]/["pa.epoch"] span shape and ledger
+    entries as {!minimum}, so faulty runs report spans too. *)

@@ -76,8 +76,14 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
         if Partition.part_of partition v = i then cell.acc <- combine cell.acc values.(v))
       cells.(i)
   done;
-  (* Shared edge-direction queues, keyed by edge*2 + dir. *)
-  let queues : (int, (int * kind * int * int) Pqueue.t) Hashtbl.t = Hashtbl.create 256 in
+  (* This engine is its own message source: it owns the ambient Cause ids
+     for the run (0 rides along when untraced). *)
+  Trace.Cause.start_run ~enabled:(tracer <> None);
+  (* Shared edge-direction queues, keyed by edge*2 + dir; entries carry the
+     causal id of the arrival that queued them (0 = none). *)
+  let queues : (int, (int * kind * int * int * int) Pqueue.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
   let nonempty : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let messages = ref 0 in
   let queue_for key =
@@ -88,12 +94,12 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
         Hashtbl.add queues key q;
         q
   in
-  let send part kind value e ~from ~dest =
+  let send part kind value cause e ~from ~dest =
     let u, _ = Graph.edge_endpoints host e in
     let dir = if from = u then 0 else 1 in
     let key = (e * 2) + dir in
     let q = queue_for key in
-    Pqueue.push q ~priority:delay.(part) (part, kind, value, dest);
+    Pqueue.push q ~priority:delay.(part) (part, kind, value, dest, cause);
     Hashtbl.replace nonempty key ()
   in
   (* Completion bookkeeping: members that received the Down total. *)
@@ -105,7 +111,9 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
     remaining.(i) <- Partition.size partition i
   done;
   let round = ref 0 in
-  let deliver_down part value node =
+  (* [cause] is the causal id of the message whose arrival triggered this
+     step (0 for the spontaneous round-0 leaf fires). *)
+  let deliver_down part value cause node =
     if Partition.part_of partition node = part then begin
       remaining.(part) <- remaining.(part) - 1;
       if remaining.(part) = 0 then begin
@@ -114,26 +122,26 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
       end
     end;
     let cell = Hashtbl.find cells.(part) node in
-    List.iter (fun (e, c) -> send part Down value e ~from:node ~dest:c) cell.children
+    List.iter (fun (e, c) -> send part Down value cause e ~from:node ~dest:c) cell.children
   in
-  let rec try_send_up part node =
+  let rec try_send_up part cause node =
     let cell = Hashtbl.find cells.(part) node in
     if cell.waiting = 0 then
       if cell.parent < 0 then begin
         (* Root: total known; start the downward broadcast. *)
         per_part_total.(part) <- cell.acc;
-        deliver_down part cell.acc node
+        deliver_down part cell.acc cause node
       end
-      else send part Up cell.acc cell.parent_edge ~from:node ~dest:cell.parent
-  and absorb_up part value node =
+      else send part Up cell.acc cause cell.parent_edge ~from:node ~dest:cell.parent
+  and absorb_up part value cause node =
     let cell = Hashtbl.find cells.(part) node in
     cell.acc <- combine cell.acc value;
     cell.waiting <- cell.waiting - 1;
-    if cell.waiting = 0 then try_send_up part node
+    if cell.waiting = 0 then try_send_up part cause node
   in
   (* Round 0: leaves fire (a childless root completes immediately). *)
   for i = 0 to k - 1 do
-    Hashtbl.iter (fun v cell -> if cell.waiting = 0 then try_send_up i v) cells.(i)
+    Hashtbl.iter (fun v cell -> if cell.waiting = 0 then try_send_up i 0 v) cells.(i)
   done;
   while !incomplete > 0 do
     if !round >= max_rounds then failwith "Tree_router: round limit";
@@ -150,16 +158,35 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
         let served = ref 0 in
         while !served < bandwidth && not (Pqueue.is_empty q) do
           (match Pqueue.pop_min q with
-          | Some (_prio, ((_part, _kind, _value, dest) as msg)) ->
+          | Some (_prio, (part, kind, value, dest, cause)) ->
               incr messages;
-              (match tracer with
-              | None -> ()
-              | Some t ->
-                  let e = key / 2 and dir = key mod 2 in
-                  let u, v = Graph.edge_endpoints host e in
-                  let src = if dir = 0 then u else v in
-                  t (Trace.Send { round = !round; src; dst = dest; edge = e; words = 1 }));
-              arrivals := msg :: !arrivals
+              let id =
+                match tracer with
+                | None -> 0
+                | Some t ->
+                    let e = key / 2 and dir = key mod 2 in
+                    let u, v = Graph.edge_endpoints host e in
+                    let src = if dir = 0 then u else v in
+                    let id = Trace.Cause.fresh_id () in
+                    t
+                      (Trace.Send
+                         {
+                           round = !round;
+                           src;
+                           dst = dest;
+                           edge = e;
+                           words = 1;
+                           id;
+                           parents = (if cause > 0 then [ cause ] else []);
+                           part;
+                           phase =
+                             (match kind with
+                             | Up -> "router.up"
+                             | Down -> "router.down");
+                         });
+                    id
+              in
+              arrivals := (part, kind, value, dest, id) :: !arrivals
           | None -> ());
           incr served
         done;
@@ -169,10 +196,10 @@ let aggregate ?(bandwidth = 1) ?max_delay ?(max_rounds = 1_000_000) ?tracer rng
         if Pqueue.is_empty q then Hashtbl.remove nonempty key)
       keys;
     List.iter
-      (fun (part, kind, value, dest) ->
+      (fun (part, kind, value, dest, id) ->
         match kind with
-        | Up -> absorb_up part value dest
-        | Down -> deliver_down part value dest)
+        | Up -> absorb_up part value id dest
+        | Down -> deliver_down part value id dest)
       !arrivals;
     match tracer with
     | None -> ()

@@ -4,6 +4,7 @@ module Rooted_tree = Lcs_graph.Rooted_tree
 module Bitset = Lcs_util.Bitset
 module Obs = Lcs_obs.Obs
 module Simulator = Lcs_congest.Simulator
+module Trace = Lcs_congest.Trace
 module Sync_bfs = Lcs_congest.Sync_bfs
 module Tree_info = Lcs_congest.Tree_info
 
@@ -81,6 +82,10 @@ type wave_state = {
   ids : (int, unit) Hashtbl.t;  (* deterministic: distinct part ids *)
   over_sub : bool;  (* decision for this node's parent edge *)
   queue : int list;  (* words left to stream upward *)
+  last_cause : int;
+      (* causal id of the latest delivery (0 when untraced): the stream
+         drains over several rounds, so later sends must link back to the
+         arrivals that completed the collection *)
 }
 
 let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~threshold
@@ -106,6 +111,7 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
       ids;
       over_sub = false;
       queue = [];
+      last_cause = 0;
     }
   in
   let decide st =
@@ -123,6 +129,16 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
   let on_round ctx st ~inbox =
     let v = ctx.Simulator.node in
     let node = info.Tree_info.nodes.(v) in
+    let st =
+      if Trace.Cause.enabled () then begin
+        Trace.Cause.tag ~part:(Partition.part_of partition v) ~phase:"wave.stream";
+        let ids = Trace.Cause.inbox () in
+        if Array.length ids > 0 then
+          { st with last_cause = Array.fold_left max st.last_cause ids }
+        else st
+      end
+      else st
+    in
     (* Absorb child reports. *)
     let st =
       List.fold_left
@@ -174,6 +190,10 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
         match st.queue with
         | [] -> ({ st with phase = Done }, [])
         | w :: rest ->
+            (* Later stream words are queue-drain sends: caused by the
+               arrivals that completed collection, not this round's inbox. *)
+            if Trace.Cause.enabled () && st.last_cause > 0 then
+              Trace.Cause.parents [ st.last_cause ];
             let st = { st with queue = rest } in
             let st = if rest = [] then { st with phase = Done } else st in
             (st, [ (node.Tree_info.parent_port, w) ]))
