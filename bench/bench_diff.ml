@@ -33,7 +33,7 @@ let parse_report path =
       exit 2
   | Ok doc ->
       (match Json.member "schema" doc with
-      | Some (Json.String s) when s = "lcs-bench-simulator/1" -> ()
+      | Some (Json.String s) when s = "lcs-bench-simulator/2" -> ()
       | Some (Json.String s) ->
           Printf.eprintf "bench_diff: %s has unexpected schema %s\n" path s;
           exit 2

@@ -96,6 +96,15 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard the enforced-simulator runs across $(docv) OCaml domains \
+     (Simulator_par). Every observable — results, stats, traces — is \
+     identical at any value; see README \"Running in parallel\" for when \
+     sharding actually helps."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 (* --- info subcommand -------------------------------------------------- *)
 
 let info_cmd =
@@ -117,7 +126,7 @@ let info_cmd =
 (* --- shortcut subcommand ------------------------------------------------ *)
 
 let shortcut_cmd =
-  let run family parts seed full trace spans =
+  let run family parts seed full trace spans domains =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -143,7 +152,7 @@ let shortcut_cmd =
        CONGEST event stream (BFS + detection waves). *)
     (if obs <> None then begin
        let recorder, profile, tracer = Report.tracing g ~on:true in
-       let o = Distributed.construct ?obs ?tracer partition ~root:0 in
+       let o = Distributed.construct ?obs ~domains ?tracer partition ~root:0 in
        Printf.printf
          "distributed pipeline: delta=%d guesses=%d bfs_rounds=%d wave_rounds=%d\n"
          o.Distributed.delta o.Distributed.guesses
@@ -203,12 +212,12 @@ let shortcut_cmd =
   Cmd.v
     (Cmd.info "shortcut" ~doc:"construct a Theorem 3.1 shortcut and measure it")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg $ trace_arg
-          $ spans_arg)
+          $ spans_arg $ domains_arg)
 
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans =
+  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans ~domains =
     (* Fault-injection mode: the enforced simulator run (the same protocol
        --trace exercises) under a compiled plan, classified and validated
        by Sim_aggregate.minimum_outcome instead of asserted correct. The
@@ -230,7 +239,7 @@ let pa_cmd =
         Some (Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ])
     in
     let o =
-      Sim_aggregate.minimum_outcome ?obs ?tracer ~faults:injector
+      Sim_aggregate.minimum_outcome ~domains ?obs ?tracer ~faults:injector
         (Rng.create (seed + 7)) sc ~values
     in
     let r = Outcome.value o in
@@ -297,7 +306,7 @@ let pa_cmd =
     Report.write_spans ~recorder spans obs;
     0
   in
-  let run family parts seed trace spans faults fault_seed =
+  let run family parts seed trace spans faults fault_seed domains =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -305,7 +314,7 @@ let pa_cmd =
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
     match faults with
-    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans
+    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans ~domains
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -320,7 +329,9 @@ let pa_cmd =
           every transmission crosses the simulator's enforced 1-word
           bandwidth and lands in the event stream. *)
        let recorder, profile, tracer = Report.tracing g ~on:true in
-       let sim = Sim_aggregate.minimum ?obs ?tracer (Rng.create (seed + 7)) sc ~values in
+       let sim =
+         Sim_aggregate.minimum ~domains ?obs ?tracer (Rng.create (seed + 7)) sc ~values
+       in
        (match trace with
        | None -> ()
        | Some path ->
@@ -384,12 +395,12 @@ let pa_cmd =
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ spans_arg
-          $ faults_arg $ fault_seed_arg)
+          $ faults_arg $ fault_seed_arg $ domains_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 
 let mst_cmd =
-  let run family seed mode trace spans =
+  let run family seed mode trace spans domains =
     let g, _shape = build_family seed family in
     let w = Weights.random_distinct (Rng.create (seed + 3)) g in
     let mode =
@@ -401,7 +412,7 @@ let mst_cmd =
     in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     let recorder, profile, tracer = Report.tracing g ~on:(obs <> None) in
-    let result = Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode w in
+    let result = Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode ~domains w in
     let ok = result.Mst.edges = Kruskal.mst w in
     Printf.printf
       "MST: weight=%d edges=%d phases=%d pa_rounds=%d correct_vs_kruskal=%b\n"
@@ -456,7 +467,8 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"distributed Boruvka MST with measured PA rounds")
-    Term.(const run $ graph_arg $ seed_arg $ mode_arg $ trace_arg $ spans_arg)
+    Term.(const run $ graph_arg $ seed_arg $ mode_arg $ trace_arg $ spans_arg
+          $ domains_arg)
 
 (* --- export subcommand -------------------------------------------------------- *)
 

@@ -7,6 +7,7 @@ module Boost = Lcs_shortcut.Boost
 module Baseline = Lcs_shortcut.Baseline
 module Quality = Lcs_shortcut.Quality
 module Aggregate = Lcs_partwise.Aggregate
+module Sim_aggregate = Lcs_partwise.Sim_aggregate
 module Rng = Lcs_util.Rng
 module Obs = Lcs_obs.Obs
 
@@ -53,7 +54,7 @@ let build_shortcut ?obs mode tree partition =
       | Bfs_baseline -> (Baseline.bfs_tree partition ~tree).Baseline.shortcut
       | Induced_only -> Shortcut.empty partition)
 
-let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
+let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) ?(domains = 1) g ~candidate ~on_merge =
   if Graph.m g >= 1 lsl key_bits then invalid_arg "Boruvka_engine: too many edges";
   let rng = Rng.create seed in
   let n = Graph.n g in
@@ -82,10 +83,27 @@ let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
     let congestion = Quality.congestion !shortcut in
     if congestion > !max_congestion then max_congestion := congestion;
     Obs.gauge obs "boruvka.congestion" (float_of_int congestion);
-    let out = Aggregate.minimum ?obs ?tracer rng !shortcut ~values in
-    pa_rounds := !pa_rounds + out.Aggregate.rounds;
-    pa_messages := !pa_messages + out.Aggregate.messages;
-    Obs.observe obs "pa.rounds" (float_of_int out.Aggregate.rounds);
+    (* The minimum aggregation is the phase's simulated workhorse. With
+       [domains > 1] it runs as a genuine CONGEST program on the sharded
+       simulator (Sim_aggregate over Simulator_par) instead of the packet
+       router; both engines return the exact per-part minima, so the MST
+       is identical — only the round/message accounting reflects the
+       engine that ran. The identity broadcast below stays on the packet
+       router either way (it is pure bookkeeping, not the measured
+       aggregation). *)
+    let minima, phase_rounds, phase_messages =
+      if domains > 1 then begin
+        let out = Sim_aggregate.minimum ~domains ?obs ?tracer rng !shortcut ~values in
+        (out.Sim_aggregate.minima, out.Sim_aggregate.rounds, out.Sim_aggregate.messages)
+      end
+      else begin
+        let out = Aggregate.minimum ?obs ?tracer rng !shortcut ~values in
+        (out.Aggregate.minima, out.Aggregate.rounds, out.Aggregate.messages)
+      end
+    in
+    pa_rounds := !pa_rounds + phase_rounds;
+    pa_messages := !pa_messages + phase_messages;
+    Obs.observe obs "pa.rounds" (float_of_int phase_rounds);
     (* Merge along each fragment's winning edge. *)
     let merged_any = ref false in
     Array.iter
@@ -99,7 +117,7 @@ let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) g ~candidate ~on_merge =
             on_merge e
           end
         end)
-      out.Aggregate.minima;
+      minima;
     if !merged_any then begin
       (* Fragment-identity update: a leader broadcast on the new partition,
          whose shortcut the next phase reuses. *)

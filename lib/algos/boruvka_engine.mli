@@ -34,6 +34,7 @@ val run :
   ?tracer:Lcs_congest.Trace.tracer ->
   ?seed:int ->
   ?mode:shortcut_mode ->
+  ?domains:int ->
   Lcs_graph.Graph.t ->
   candidate:(fragment_of:(int -> int) -> int -> (int * int) option) ->
   on_merge:(int -> unit) ->
@@ -53,4 +54,12 @@ val run :
     (["boruvka.shortcut"]) and its aggregations' ["pa"] spans — updates the
     ["boruvka.merges"] counter / ["boruvka.congestion"] gauge /
     ["pa.rounds"] histogram, and closes with a phases-vs-[⌈log₂ n⌉ + 1]
-    ledger entry. *)
+    ledger entry.
+
+    [domains] (default 1) switches each phase's minimum aggregation from
+    the packet router to a genuine CONGEST run on the sharded simulator
+    ({!Lcs_partwise.Sim_aggregate} over {!Lcs_congest.Simulator_par} with
+    that many domains). Both engines return the exact per-part minima, so
+    the merges — and therefore the MST — are identical; the [pa_rounds] /
+    [pa_messages] accounting reflects whichever engine ran. The
+    fragment-identity broadcast stays on the packet router. *)

@@ -19,9 +19,14 @@ val boruvka :
   ?tracer:Lcs_congest.Trace.tracer ->
   ?seed:int ->
   ?mode:Boruvka_engine.shortcut_mode ->
+  ?domains:int ->
   Lcs_graph.Weights.t ->
   result
 (** Requires a connected host graph (the result then has [n-1] edges).
     [?obs] wraps the run in an ["mst"] span over {!Boruvka_engine.run}'s
     span tree (mst → boruvka → boruvka.phase → pa → pa.epoch); [?tracer]
-    observes the underlying packet-router runs. *)
+    observes the underlying packet-router runs. [domains] (default 1)
+    runs each phase's minimum aggregation as a CONGEST program on the
+    sharded simulator ({!Lcs_congest.Simulator_par} via
+    {!Lcs_partwise.Sim_aggregate}) instead of the packet router; the MST
+    is identical, the accounting reflects the simulated engine. *)

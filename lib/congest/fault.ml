@@ -24,6 +24,9 @@ type plan = {
 
 let empty = { seed = 1; default = reliable_edge; edges = []; crashes = [] }
 
+let max_delay p =
+  List.fold_left (fun acc (_, f) -> max acc f.delay) p.default.delay p.edges
+
 let validate_edge_faults name f =
   let prob label p =
     if p < 0. || p > 1. then

@@ -52,6 +52,10 @@ type plan = {
 val empty : plan
 (** Seed 1, no faults anywhere — injecting it must not change a run. *)
 
+val max_delay : plan -> int
+(** The largest fixed [delay] any edge profile of the plan can impose —
+    what the simulator cores size their delayed-delivery rings from. *)
+
 val validate : plan -> (plan, string) result
 (** Probabilities in range, delays non-negative, intervals well-formed,
     crash rounds at least 1. *)

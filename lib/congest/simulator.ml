@@ -61,46 +61,61 @@ type 'state run_result =
 exception Bandwidth_exceeded of { node : int; port : int; round : int; words : int; limit : int }
 exception Round_limit of int
 
-(* CSR port layout. Slot [port_offset.(v) + p] describes port [p] of node
-   [v]; [port_reverse] holds the local port index at the neighbor that
-   leads back, so delivery is one array read. *)
-type csr = {
-  port_offset : int array;  (* length n+1; prefix sums of degrees *)
-  port_neighbor : int array;
-  port_edge : int array;
-  port_reverse : int array;
-}
+(* CSR port layout, shared with the sharded core (Simulator_par). Slot
+   [port_offset.(v) + p] describes port [p] of node [v]; [port_reverse]
+   holds the local port index at the neighbor that leads back, so delivery
+   is one array read. *)
+module Csr = struct
+  type t = {
+    port_offset : int array;  (* length n+1; prefix sums of degrees *)
+    port_neighbor : int array;
+    port_edge : int array;
+    port_reverse : int array;
+  }
 
-let build_csr g =
-  let n = Graph.n g in
-  let port_offset = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    port_offset.(v + 1) <- port_offset.(v) + Graph.degree g v
-  done;
-  let total = port_offset.(n) in
-  let port_neighbor = Array.make total 0 in
-  let port_edge = Array.make total 0 in
-  let port_reverse = Array.make total 0 in
-  (* Each edge occupies exactly two slots; link them as the second one is
-     filled. *)
-  let first_slot = Array.make (Graph.m g) (-1) in
-  for v = 0 to n - 1 do
-    let row = Graph.ports g v in
-    let off = port_offset.(v) in
-    Array.iteri
-      (fun p (w, e) ->
-        let s = off + p in
-        port_neighbor.(s) <- w;
-        port_edge.(s) <- e;
-        let s1 = first_slot.(e) in
-        if s1 < 0 then first_slot.(e) <- s
-        else begin
-          port_reverse.(s) <- s1 - port_offset.(w);
-          port_reverse.(s1) <- p
-        end)
-      row
-  done;
-  { port_offset; port_neighbor; port_edge; port_reverse }
+  let build g =
+    let n = Graph.n g in
+    let port_offset = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      port_offset.(v + 1) <- port_offset.(v) + Graph.degree g v
+    done;
+    let total = port_offset.(n) in
+    let port_neighbor = Array.make total 0 in
+    let port_edge = Array.make total 0 in
+    let port_reverse = Array.make total 0 in
+    (* Each edge occupies exactly two slots; link them as the second one is
+       filled. *)
+    let first_slot = Array.make (Graph.m g) (-1) in
+    for v = 0 to n - 1 do
+      let row = Graph.ports g v in
+      let off = port_offset.(v) in
+      Array.iteri
+        (fun p (w, e) ->
+          let s = off + p in
+          port_neighbor.(s) <- w;
+          port_edge.(s) <- e;
+          let s1 = first_slot.(e) in
+          if s1 < 0 then first_slot.(e) <- s
+          else begin
+            port_reverse.(s) <- s1 - port_offset.(w);
+            port_reverse.(s1) <- p
+          end)
+        row
+    done;
+    { port_offset; port_neighbor; port_edge; port_reverse }
+
+  let contexts csr n =
+    Array.init n (fun v ->
+        let off = csr.port_offset.(v) in
+        let len = csr.port_offset.(v + 1) - off in
+        {
+          node = v;
+          neighbors = Array.sub csr.port_neighbor off len;
+          neighbor_edges = Array.sub csr.port_edge off len;
+        })
+end
+
+open Csr
 
 (* Materialize the (port, msg) inbox list the program API expects, in
    arrival order, from the parallel port/payload buffers. Top-level so the
@@ -125,17 +140,8 @@ type 'msg pending = {
 let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g program =
   if bandwidth < 1 then invalid_arg "Simulator.run: bandwidth";
   let n = Graph.n g in
-  let csr = build_csr g in
-  let ctxs =
-    Array.init n (fun v ->
-        let off = csr.port_offset.(v) in
-        let len = csr.port_offset.(v + 1) - off in
-        {
-          node = v;
-          neighbors = Array.sub csr.port_neighbor off len;
-          neighbor_edges = Array.sub csr.port_edge off len;
-        })
-  in
+  let csr = Csr.build g in
+  let ctxs = Csr.contexts csr n in
   (* The run owns the ambient Cause state: ids restart at 1 and are drawn
      in trace-event order, which both cores emit identically. *)
   Trace.Cause.start_run ~enabled:(tracer <> None);
@@ -183,14 +189,7 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
   let ring_span =
     match faults with
     | None -> 0
-    | Some inj ->
-        let plan = Fault.plan inj in
-        let maxd =
-          List.fold_left
-            (fun acc (_, f) -> max acc f.Fault.delay)
-            plan.Fault.default.Fault.delay plan.Fault.edges
-        in
-        maxd + 4
+    | Some inj -> Fault.max_delay (Fault.plan inj) + 4
   in
   let ring : 'msg pending Vec.t array = Array.init ring_span (fun _ -> Vec.create ()) in
   let rounds = ref 0 in

@@ -71,6 +71,26 @@ exception Round_limit of int
     {!run_outcome} to recover the partial states and statistics instead of
     unwinding past them. *)
 
+(** The CSR port layout both array-backed cores run on — shared
+    infrastructure for this core and the sharded {!Simulator_par}, not
+    part of the stable user API. Slot [port_offset.(v) + p] describes
+    port [p] of node [v]; [port_reverse] holds the local port index at
+    the neighbor that leads back, so delivering a message is one array
+    read. *)
+module Csr : sig
+  type t = {
+    port_offset : int array;  (** length [n+1]; prefix sums of degrees *)
+    port_neighbor : int array;
+    port_edge : int array;
+    port_reverse : int array;
+  }
+
+  val build : Lcs_graph.Graph.t -> t
+
+  val contexts : t -> int -> ctx array
+  (** The per-node program contexts for nodes [0..n-1]. *)
+end
+
 val run_outcome :
   ?bandwidth:int ->
   ?max_rounds:int ->

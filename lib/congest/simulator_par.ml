@@ -1,0 +1,710 @@
+(* The sharded multicore core. The node set is split into [domains]
+   contiguous shards balanced by port count; each round runs its local
+   delivery + protocol steps in parallel across OCaml 5 domains with a
+   barrier at round boundaries. Cross-shard messages travel through
+   per-(source shard, destination shard) outboxes: each cell has exactly
+   one writer (the source domain, during the compute phase) and exactly
+   one reader (the destination domain, during the drain phase), with the
+   phase barrier between them — so the hot path takes no locks at all.
+
+   Determinism contract (doc/parallelism.mld spells it out; the
+   differential suite enforces it): every observable — final states,
+   statistics, trace event order, Trace.Cause id assignment, fault
+   verdict order — is byte-identical to the serial cores at every domain
+   count. Two facts make that cheap:
+
+   - Shards are CONTIGUOUS id ranges and every domain walks its nodes in
+     ascending order, so draining the outbox cells in source-shard order
+     reproduces exactly the serial core's global send order at every
+     inbox.
+   - Traced or faulty runs never consume shared sequential state (the id
+     counter, the fault injector's random stream, the tracer callback)
+     inside a worker: workers only buffer their nodes' outboxes (plus the
+     causal declarations, captured from each worker's own domain-local
+     Trace.Cause state in outbox order), and the main domain replays the
+     buffered sends in shard-merge order at the barrier — drawing ids,
+     fault verdicts and trace events in exactly the serial sequence.
+
+   The flip side, documented rather than hidden: with a tracer or a fault
+   plan attached, only the protocol steps parallelize (verdicts, ids and
+   event emission serialize at the barrier), so sharding buys little
+   there. The untraced fault-free path — the capacity workload — is
+   parallel end to end. *)
+
+module Graph = Lcs_graph.Graph
+module Vec = Lcs_util.Vec
+module Csr = Simulator.Csr
+
+let max_shards = 32
+
+let recommended () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Contiguous shard boundaries balancing the port (= work) count, not the
+   node count: shard [s] is [bounds.(s) .. bounds.(s+1) - 1]. *)
+let shard_bounds ~domains g =
+  let n = Graph.n g in
+  let d = max 1 (min domains (min (max 1 n) max_shards)) in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Graph.degree g v
+  done;
+  let total = offsets.(n) in
+  let bounds = Array.make (d + 1) n in
+  bounds.(0) <- 0;
+  for k = 1 to d - 1 do
+    if total = 0 then bounds.(k) <- n * k / d
+    else begin
+      let target = total * k / d in
+      let b = ref bounds.(k - 1) in
+      while !b < n && offsets.(!b) < target do
+        incr b
+      done;
+      bounds.(k) <- !b
+    end
+  done;
+  bounds
+
+(* --- worker crew --------------------------------------------------------- *)
+
+(* [domains - 1] persistent worker domains plus the calling domain, which
+   participates as shard 0 and runs every serial section. One phase =
+   broadcast a job, run shard 0's part inline, wait for the others. *)
+type crew = {
+  size : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable generation : int;
+  mutable job : int -> unit;
+  mutable pending : int;
+  mutable stop : bool;
+}
+
+let make_crew size =
+  {
+    size;
+    mutex = Mutex.create ();
+    start = Condition.create ();
+    finished = Condition.create ();
+    generation = 0;
+    job = ignore;
+    pending = 0;
+    stop = false;
+  }
+
+let worker crew shard ~traced () =
+  (* Give this domain its own (domain-local) causal state: protocols
+     consult Trace.Cause during on_round, and each worker brackets its own
+     activations. The worker never draws ids — see the replay step. *)
+  Trace.Cause.start_run ~enabled:traced;
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock crew.mutex;
+    while (not crew.stop) && crew.generation = !seen do
+      Condition.wait crew.start crew.mutex
+    done;
+    if crew.stop then begin
+      Mutex.unlock crew.mutex;
+      running := false
+    end
+    else begin
+      seen := crew.generation;
+      let job = crew.job in
+      Mutex.unlock crew.mutex;
+      job shard;
+      Mutex.lock crew.mutex;
+      crew.pending <- crew.pending - 1;
+      if crew.pending = 0 then Condition.signal crew.finished;
+      Mutex.unlock crew.mutex
+    end
+  done
+
+let run_phase crew job =
+  Mutex.lock crew.mutex;
+  crew.job <- job;
+  crew.generation <- crew.generation + 1;
+  crew.pending <- crew.size - 1;
+  Condition.broadcast crew.start;
+  Mutex.unlock crew.mutex;
+  job 0;
+  Mutex.lock crew.mutex;
+  while crew.pending > 0 do
+    Condition.wait crew.finished crew.mutex
+  done;
+  Mutex.unlock crew.mutex
+
+let shutdown crew handles =
+  Mutex.lock crew.mutex;
+  crew.stop <- true;
+  Condition.broadcast crew.start;
+  Mutex.unlock crew.mutex;
+  Array.iter Domain.join handles
+
+(* --- the sharded run ----------------------------------------------------- *)
+
+let rec build_inbox ports msgs i acc =
+  if i < 0 then acc
+  else build_inbox ports msgs (i - 1) ((Vec.get ports i, Vec.get msgs i) :: acc)
+
+(* A cross-shard outbox cell: parallel destination/return-port/payload
+   buffers, reused across rounds. *)
+type 'msg outcell = { ob_dst : int Vec.t; ob_port : int Vec.t; ob_msg : 'msg Vec.t }
+
+type 'msg pending = {
+  p_dst : int;
+  p_port : int;
+  p_id : int;
+  p_src : int;
+  p_edge : int;
+  p_words : int;
+  p_msg : 'msg;
+}
+
+let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
+  let n = Graph.n g in
+  let csr = Csr.build g in
+  let ctxs = Csr.contexts csr n in
+  let bounds = shard_bounds ~domains:d g in
+  let owner = Array.make (max 1 n) 0 in
+  for s = 0 to d - 1 do
+    for v = bounds.(s) to bounds.(s + 1) - 1 do
+      owner.(v) <- s
+    done
+  done;
+  let traced = tracer <> None in
+  (* A tracer or an injector makes the run's observables depend on a
+     sequential resource (event order, the id counter, the random verdict
+     stream); those runs buffer in parallel and replay serially at the
+     barrier. *)
+  let serialized = traced || faults <> None in
+  Trace.Cause.start_run ~enabled:traced;
+  let states = Array.map program.Simulator.init ctxs in
+  let halted = Array.map program.Simulator.is_halted states in
+  let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
+  let inbox_vecs () =
+    Array.init n (fun v ->
+        Vec.create ~capacity:(csr.Csr.port_offset.(v + 1) - csr.Csr.port_offset.(v)) ())
+  in
+  let cur_ports = ref (inbox_vecs ()) in
+  let cur_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
+  let nxt_ports = ref (inbox_vecs ()) in
+  let nxt_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
+  let cur_ids : int Vec.t array ref = ref (if traced then inbox_vecs () else [||]) in
+  let nxt_ids : int Vec.t array ref = ref (if traced then inbox_vecs () else [||]) in
+  let total_ports = csr.Csr.port_offset.(n) in
+  let budget = Array.make (max 1 total_ports) 0 in
+  let crashed = Array.make (max 1 n) false in
+  let ring_span =
+    match faults with
+    | None -> 0
+    | Some inj -> Fault.max_delay (Fault.plan inj) + 4
+  in
+  let ring : 'msg pending Vec.t array = Array.init ring_span (fun _ -> Vec.create ()) in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let words = ref 0 in
+  let max_edge_load = ref 0 in
+  let round_max = ref 0 in
+  let out_of_rounds = ref false in
+  (* Per-shard failure slots: each worker stops its shard at its first
+     raising node and parks the exception here; the main domain re-raises
+     the one with the smallest node id — exactly the send the serial core
+     would have raised at, whatever the domain count. *)
+  let fail : (int * exn) option array = Array.make d None in
+  let fail_node = Array.make d 0 in
+  let check_failures () =
+    let best = ref None in
+    for s = 0 to d - 1 do
+      match fail.(s) with
+      | None -> ()
+      | Some (v, exn) -> (
+          match !best with
+          | Some (bv, _) when bv <= v -> ()
+          | _ -> best := Some (v, exn))
+    done;
+    match !best with None -> () | Some (_, exn) -> raise exn
+  in
+  (* --- fast path (untraced, fault-free): parallel end to end ------------ *)
+  let out : 'msg outcell array array =
+    if serialized then [||]
+    else
+      Array.init d (fun _ ->
+          Array.init d (fun _ ->
+              { ob_dst = Vec.create (); ob_port = Vec.create (); ob_msg = Vec.create () }))
+  in
+  let messages_s = Array.make d 0 in
+  let words_s = Array.make d 0 in
+  let maxload_s = Array.make d 0 in
+  let live_delta = Array.make d 0 in
+  let touched_s =
+    Array.init d (fun s ->
+        if serialized && s > 0 then [||]
+        else
+          let ports =
+            if serialized then total_ports
+            else csr.Csr.port_offset.(bounds.(s + 1)) - csr.Csr.port_offset.(bounds.(s))
+          in
+          Array.make (max 1 ports) 0)
+  in
+  let ntouched = Array.make d 0 in
+  let rec send_fast s v base outbox =
+    match outbox with
+    | [] -> ()
+    | (port, msg) :: rest ->
+        let ctx = ctxs.(v) in
+        if port < 0 || port >= Array.length ctx.Simulator.neighbors then
+          invalid_arg "Simulator: bad port";
+        let size = program.Simulator.msg_words msg in
+        if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
+        let slot = base + port in
+        let prev = budget.(slot) in
+        let used = prev + size in
+        if used > bandwidth then
+          raise
+            (Simulator.Bandwidth_exceeded
+               { node = v; port; round = !rounds; words = used; limit = bandwidth });
+        if prev = 0 then begin
+          touched_s.(s).(ntouched.(s)) <- slot;
+          ntouched.(s) <- ntouched.(s) + 1
+        end;
+        budget.(slot) <- used;
+        if used > maxload_s.(s) then maxload_s.(s) <- used;
+        messages_s.(s) <- messages_s.(s) + 1;
+        words_s.(s) <- words_s.(s) + size;
+        let w = csr.Csr.port_neighbor.(slot) in
+        let cell = out.(s).(owner.(w)) in
+        Vec.push cell.ob_dst w;
+        Vec.push cell.ob_port csr.Csr.port_reverse.(slot);
+        Vec.push cell.ob_msg msg;
+        send_fast s v base rest
+  in
+  let phase_compute_fast s =
+    try
+      for v = bounds.(s) to bounds.(s + 1) - 1 do
+        fail_node.(s) <- v;
+        let ports_v = (!cur_ports).(v) and msgs_v = (!cur_msgs).(v) in
+        if not halted.(v) then begin
+          let inbox = build_inbox ports_v msgs_v (Vec.length ports_v - 1) [] in
+          Vec.clear ports_v;
+          Vec.clear msgs_v;
+          let state, outbox = program.Simulator.on_round ctxs.(v) states.(v) ~inbox in
+          states.(v) <- state;
+          send_fast s v csr.Csr.port_offset.(v) outbox;
+          if program.Simulator.is_halted state then begin
+            halted.(v) <- true;
+            live_delta.(s) <- live_delta.(s) - 1
+          end
+        end
+        else begin
+          Vec.clear ports_v;
+          Vec.clear msgs_v
+        end
+      done;
+      for i = 0 to ntouched.(s) - 1 do
+        budget.(touched_s.(s).(i)) <- 0
+      done;
+      ntouched.(s) <- 0
+    with exn -> fail.(s) <- Some (fail_node.(s), exn)
+  in
+  let phase_drain t =
+    (* Drain in source-shard order: shards are contiguous ascending id
+       ranges, so this concatenation IS the serial core's send order. *)
+    for s = 0 to d - 1 do
+      let cell = out.(s).(t) in
+      for i = 0 to Vec.length cell.ob_dst - 1 do
+        let w = Vec.get cell.ob_dst i in
+        Vec.push (!nxt_ports).(w) (Vec.get cell.ob_port i);
+        Vec.push (!nxt_msgs).(w) (Vec.get cell.ob_msg i)
+      done;
+      Vec.clear cell.ob_dst;
+      Vec.clear cell.ob_port;
+      Vec.clear cell.ob_msg
+    done
+  in
+  (* --- serialized path (traced and/or faulty): buffer, then replay ------ *)
+  let act_node = Array.init d (fun _ -> Vec.create ()) in
+  let act_sends = Array.init d (fun _ -> Vec.create ()) in
+  let act_halt = Array.init d (fun _ -> Vec.create ()) in
+  let snd_port = Array.init d (fun _ -> Vec.create ()) in
+  let snd_msg : 'msg Vec.t array = Array.init d (fun _ -> Vec.create ()) in
+  let snd_parents : int list Vec.t array = Array.init d (fun _ -> Vec.create ()) in
+  let snd_part = Array.init d (fun _ -> Vec.create ()) in
+  let snd_phase : string Vec.t array = Array.init d (fun _ -> Vec.create ()) in
+  let rec buffer_sends s outbox k =
+    match outbox with
+    | [] -> k
+    | (port, msg) :: rest ->
+        Vec.push snd_port.(s) port;
+        Vec.push snd_msg.(s) msg;
+        if traced then begin
+          (* Consume this worker's own causal declarations in outbox
+             order, exactly where the serial core calls [take]. *)
+          let ps, part, phase = Trace.Cause.take ~port in
+          Vec.push snd_parents.(s) ps;
+          Vec.push snd_part.(s) part;
+          Vec.push snd_phase.(s) phase
+        end;
+        buffer_sends s rest (k + 1)
+  in
+  let phase_compute_slow s =
+    try
+      for v = bounds.(s) to bounds.(s + 1) - 1 do
+        fail_node.(s) <- v;
+        let ports_v = (!cur_ports).(v) and msgs_v = (!cur_msgs).(v) in
+        if not (halted.(v) || crashed.(v)) then begin
+          let inbox = build_inbox ports_v msgs_v (Vec.length ports_v - 1) [] in
+          Vec.clear ports_v;
+          Vec.clear msgs_v;
+          if traced then begin
+            let ids_v = (!cur_ids).(v) in
+            Trace.Cause.activate (Vec.to_array ids_v);
+            Vec.clear ids_v
+          end;
+          let state, outbox = program.Simulator.on_round ctxs.(v) states.(v) ~inbox in
+          states.(v) <- state;
+          let k = buffer_sends s outbox 0 in
+          if traced then Trace.Cause.deactivate ();
+          let halts = program.Simulator.is_halted state in
+          if halts then halted.(v) <- true;
+          Vec.push act_node.(s) v;
+          Vec.push act_sends.(s) k;
+          Vec.push act_halt.(s) (if halts then 1 else 0)
+        end
+        else begin
+          Vec.clear ports_v;
+          Vec.clear msgs_v;
+          if traced then Vec.clear (!cur_ids).(v)
+        end
+      done
+    with exn -> fail.(s) <- Some (fail_node.(s), exn)
+  in
+  (* Replay one buffered send on the main domain — the serial core's
+     [deliver] body verbatim, with the causal declaration read from the
+     buffer instead of the ambient state. Ids, verdicts and trace events
+     are drawn here, in shard-merge (= serial) order. *)
+  let process_send v port msg ~cparents ~cpart ~cphase =
+    let ctx = ctxs.(v) in
+    if port < 0 || port >= Array.length ctx.Simulator.neighbors then
+      invalid_arg "Simulator: bad port";
+    let size = program.Simulator.msg_words msg in
+    if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
+    let slot = csr.Csr.port_offset.(v) + port in
+    let prev = budget.(slot) in
+    let used = prev + size in
+    if used > bandwidth then
+      raise
+        (Simulator.Bandwidth_exceeded
+           { node = v; port; round = !rounds; words = used; limit = bandwidth });
+    if prev = 0 then begin
+      touched_s.(0).(ntouched.(0)) <- slot;
+      ntouched.(0) <- ntouched.(0) + 1
+    end;
+    budget.(slot) <- used;
+    if used > !max_edge_load then max_edge_load := used;
+    let w = csr.Csr.port_neighbor.(slot) in
+    let back = csr.Csr.port_reverse.(slot) in
+    let edge = csr.Csr.port_edge.(slot) in
+    match faults with
+    | None ->
+        incr messages;
+        words := !words + size;
+        (match tracer with
+        | None -> ()
+        | Some t ->
+            if used > !round_max then round_max := used;
+            let id = Trace.Cause.fresh_id () in
+            t
+              (Trace.Send
+                 {
+                   round = !rounds;
+                   src = v;
+                   dst = w;
+                   edge;
+                   words = size;
+                   id;
+                   parents = cparents;
+                   part = cpart;
+                   phase = cphase;
+                 });
+            Vec.push (!nxt_ids).(w) id);
+        Vec.push (!nxt_ports).(w) back;
+        Vec.push (!nxt_msgs).(w) msg
+    | Some inj ->
+        if crashed.(w) then begin
+          Fault.note_to_crashed inj;
+          match tracer with
+          | None -> ()
+          | Some t ->
+              if used > !round_max then round_max := used;
+              t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size })
+        end
+        else begin
+          match Fault.transmission inj ~round:!rounds ~edge with
+          | Fault.Lose Fault.Random_loss -> (
+              match tracer with
+              | None -> ()
+              | Some t ->
+                  if used > !round_max then round_max := used;
+                  t (Trace.Drop { round = !rounds; src = v; dst = w; edge; words = size }))
+          | Fault.Lose Fault.Link_is_down -> (
+              match tracer with
+              | None -> ()
+              | Some t ->
+                  if used > !round_max then round_max := used;
+                  t (Trace.Link_down { round = !rounds; edge }))
+          | Fault.Deliver delays ->
+              List.iteri
+                (fun i delay ->
+                  incr messages;
+                  words := !words + size;
+                  let id =
+                    match tracer with
+                    | None -> 0
+                    | Some t ->
+                        if used > !round_max then round_max := used;
+                        let id = Trace.Cause.fresh_id () in
+                        if i = 0 then
+                          t
+                            (Trace.Send
+                               {
+                                 round = !rounds;
+                                 src = v;
+                                 dst = w;
+                                 edge;
+                                 words = size;
+                                 id;
+                                 parents = cparents;
+                                 part = cpart;
+                                 phase = cphase;
+                               })
+                        else
+                          t
+                            (Trace.Duplicate
+                               {
+                                 round = !rounds;
+                                 src = v;
+                                 dst = w;
+                                 edge;
+                                 words = size;
+                                 id;
+                                 parents = cparents;
+                                 part = cpart;
+                                 phase = cphase;
+                               });
+                        if delay > 0 then
+                          t (Trace.Delayed { round = !rounds; src = v; dst = w; edge; delay });
+                        id
+                  in
+                  if delay = 0 then begin
+                    (match tracer with
+                    | None -> ()
+                    | Some _ -> Vec.push (!nxt_ids).(w) id);
+                    Vec.push (!nxt_ports).(w) back;
+                    Vec.push (!nxt_msgs).(w) msg
+                  end
+                  else
+                    let at = !rounds + 1 + delay in
+                    Vec.push
+                      ring.(at mod ring_span)
+                      {
+                        p_dst = w;
+                        p_port = back;
+                        p_id = id;
+                        p_src = v;
+                        p_edge = edge;
+                        p_words = size;
+                        p_msg = msg;
+                      })
+                delays
+        end
+  in
+  let replay_round () =
+    for s = 0 to d - 1 do
+      let send_idx = ref 0 in
+      for a = 0 to Vec.length act_node.(s) - 1 do
+        let v = Vec.get act_node.(s) a in
+        let k = Vec.get act_sends.(s) a in
+        for j = 0 to k - 1 do
+          let i = !send_idx + j in
+          let cparents, cpart, cphase =
+            if traced then
+              (Vec.get snd_parents.(s) i, Vec.get snd_part.(s) i, Vec.get snd_phase.(s) i)
+            else ([], -1, "")
+          in
+          process_send v (Vec.get snd_port.(s) i) (Vec.get snd_msg.(s) i) ~cparents ~cpart
+            ~cphase
+        done;
+        send_idx := !send_idx + k;
+        if Vec.get act_halt.(s) a = 1 then begin
+          decr live;
+          match tracer with
+          | None -> ()
+          | Some t -> t (Trace.Halt { round = !rounds; node = v })
+        end
+      done;
+      Vec.clear act_node.(s);
+      Vec.clear act_sends.(s);
+      Vec.clear act_halt.(s);
+      Vec.clear snd_port.(s);
+      Vec.clear snd_msg.(s);
+      if traced then begin
+        Vec.clear snd_parents.(s);
+        Vec.clear snd_part.(s);
+        Vec.clear snd_phase.(s)
+      end
+    done;
+    for i = 0 to ntouched.(0) - 1 do
+      budget.(touched_s.(0).(i)) <- 0
+    done;
+    ntouched.(0) <- 0
+  in
+  let purge_delayed_to inj v ~round =
+    for dr = 0 to ring_span - 1 do
+      let slot = ring.((round + dr) mod ring_span) in
+      if Vec.length slot > 0 then begin
+        let keep = ref 0 in
+        for i = 0 to Vec.length slot - 1 do
+          let p = Vec.get slot i in
+          if p.p_dst = v then begin
+            Fault.note_to_crashed inj;
+            match tracer with
+            | None -> ()
+            | Some t ->
+                t (Trace.Drop { round; src = p.p_src; dst = v; edge = p.p_edge; words = p.p_words })
+          end
+          else begin
+            Vec.set slot !keep p;
+            incr keep
+          end
+        done;
+        Vec.truncate slot !keep
+      end
+    done
+  in
+  (* --- the round loop ---------------------------------------------------- *)
+  let crew = make_crew d in
+  let handles = Array.init (d - 1) (fun i -> Domain.spawn (worker crew (i + 1) ~traced)) in
+  Fun.protect ~finally:(fun () -> shutdown crew handles) @@ fun () ->
+  while !live > 0 && not !out_of_rounds do
+    if !rounds >= max_rounds then out_of_rounds := true
+    else begin
+      incr rounds;
+      if serialized then begin
+        (match tracer with
+        | None -> ()
+        | Some t ->
+            round_max := 0;
+            t (Trace.Round_start { round = !rounds; live = !live }));
+        (match faults with
+        | None -> ()
+        | Some inj ->
+            List.iter
+              (fun v ->
+                if v >= 0 && v < n && not crashed.(v) then begin
+                  crashed.(v) <- true;
+                  if not halted.(v) then decr live;
+                  Vec.clear (!cur_ports).(v);
+                  Vec.clear (!cur_msgs).(v);
+                  (match tracer with
+                  | None -> ()
+                  | Some t ->
+                      Vec.clear (!cur_ids).(v);
+                      t (Trace.Crash { round = !rounds; node = v }));
+                  purge_delayed_to inj v ~round:!rounds
+                end)
+              (Fault.crashes_at inj ~round:!rounds);
+            if ring_span > 0 then begin
+              let slot = ring.(!rounds mod ring_span) in
+              Vec.iter
+                (fun p ->
+                  if not (halted.(p.p_dst) || crashed.(p.p_dst)) then begin
+                    Vec.push (!cur_ports).(p.p_dst) p.p_port;
+                    Vec.push (!cur_msgs).(p.p_dst) p.p_msg;
+                    match tracer with
+                    | None -> ()
+                    | Some _ -> Vec.push (!cur_ids).(p.p_dst) p.p_id
+                  end)
+                slot;
+              Vec.clear slot
+            end)
+      end;
+      run_phase crew (if serialized then phase_compute_slow else phase_compute_fast);
+      check_failures ();
+      if serialized then replay_round ()
+      else begin
+        for s = 0 to d - 1 do
+          live := !live + live_delta.(s);
+          live_delta.(s) <- 0
+        done;
+        run_phase crew phase_drain
+      end;
+      let tp = !cur_ports in
+      cur_ports := !nxt_ports;
+      nxt_ports := tp;
+      let tm = !cur_msgs in
+      cur_msgs := !nxt_msgs;
+      nxt_msgs := tm;
+      if traced then begin
+        let ti = !cur_ids in
+        cur_ids := !nxt_ids;
+        nxt_ids := ti
+      end;
+      match tracer with
+      | None -> ()
+      | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })
+    end
+  done;
+  if not serialized then begin
+    for s = 0 to d - 1 do
+      messages := !messages + messages_s.(s);
+      words := !words + words_s.(s);
+      if maxload_s.(s) > !max_edge_load then max_edge_load := maxload_s.(s)
+    done
+  end;
+  let stats =
+    {
+      Simulator.rounds = !rounds;
+      messages = !messages;
+      words = !words;
+      max_edge_load = !max_edge_load;
+    }
+  in
+  if !out_of_rounds then begin
+    let unhalted = ref [] in
+    for v = n - 1 downto 0 do
+      if not (halted.(v) || crashed.(v)) then unhalted := v :: !unhalted
+    done;
+    let crashed_nodes =
+      match faults with None -> [] | Some inj -> Fault.crashed_nodes inj
+    in
+    Simulator.Out_of_rounds
+      (states, { Simulator.partial_stats = stats; unhalted = !unhalted; crashed_nodes })
+  end
+  else Simulator.Finished (states, stats)
+
+(* --- entry points -------------------------------------------------------- *)
+
+let run_outcome ?(domains = 1) ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g
+    program =
+  if domains < 1 then invalid_arg "Simulator_par.run: domains";
+  if bandwidth < 1 then invalid_arg "Simulator_par.run: bandwidth";
+  let d = min domains (min (max 1 (Graph.n g)) max_shards) in
+  if d <= 1 then Simulator.run_outcome ~bandwidth ~max_rounds ?tracer ?faults g program
+  else run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program
+
+let run ?domains ?bandwidth ?max_rounds ?tracer ?faults g program =
+  match run_outcome ?domains ?bandwidth ?max_rounds ?tracer ?faults g program with
+  | Simulator.Finished (states, stats) -> (states, stats)
+  | Simulator.Out_of_rounds (_, partial) ->
+      raise (Simulator.Round_limit partial.Simulator.partial_stats.Simulator.rounds)
+
+let run_profiled ?domains ?bandwidth ?max_rounds ?tracer ?faults g program =
+  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+  let tracer =
+    match tracer with
+    | None -> Trace.Profile.tracer profile
+    | Some t -> Trace.tee [ Trace.Profile.tracer profile; t ]
+  in
+  let states, base = run ?domains ?bandwidth ?max_rounds ~tracer ?faults g program in
+  (states, { Simulator.base; profile })

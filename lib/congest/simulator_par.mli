@@ -1,0 +1,85 @@
+(** Sharded multicore CONGEST simulator (OCaml 5 domains).
+
+    Same model, same programs, same observables as {!Simulator} — this
+    core only changes {e how} a round is executed. The node set is split
+    into [domains] contiguous shards balanced by port count; each round,
+    every domain delivers its shard's inboxes and runs its shard's
+    [on_round] steps in parallel, with a barrier at the round boundary.
+    Cross-shard messages travel through per-(source, destination) shard
+    outboxes — each cell has exactly one writer and one reader, separated
+    by the barrier, so the hot path takes no locks.
+
+    {b Determinism contract.} For every program, graph, seed and fault
+    plan, a run is observationally {e identical} at every domain count:
+    final states, {!Simulator.stats}, the full trace event order,
+    {!Trace.Cause} id assignment, and fault verdicts all match the serial
+    cores byte for byte. Untraced fault-free runs get this from shard
+    contiguity alone (draining outboxes in source-shard order reproduces
+    the serial send order); traced or faulty runs buffer sends in
+    parallel and replay them serially at the barrier, drawing ids,
+    verdicts and events in exactly the serial sequence. The differential
+    suite enforces both. See the "parallelism" documentation page for the
+    full execution model and its ownership rules.
+
+    {b When it helps.} Sharding pays off on large graphs with fault-free,
+    untraced runs — the capacity workload. Tracing or fault injection
+    serializes the verdict/id/event step at the barrier, and tiny graphs
+    are dominated by barrier latency; both are better run with
+    [domains = 1], which delegates to {!Simulator.run_outcome} exactly.
+
+    Runs that raise ([Bandwidth_exceeded], or an exception escaping
+    [on_round]) raise the {e same} exception the serial core would have
+    raised (the offense at the smallest node id wins); under parallel
+    execution, activations of higher-id nodes in the same round may have
+    run where the serial core stopped early — their effects are discarded
+    with the run. *)
+
+val recommended : unit -> int
+(** A sensible default domain count for this machine:
+    [Domain.recommended_domain_count], clamped to [\[1, 8\]]. *)
+
+val shard_bounds : domains:int -> Lcs_graph.Graph.t -> int array
+(** The contiguous shard boundaries the run will use: [domains + 1]
+    entries (after clamping — see {!run}), shard [s] owning nodes
+    [bounds.(s) .. bounds.(s+1) - 1]. Balanced by port count, so dense
+    regions spread across domains. Exposed for tests and diagnostics. *)
+
+val run_outcome :
+  ?domains:int ->
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) Simulator.program ->
+  'state Simulator.run_result
+(** Like {!Simulator.run_outcome}, executed on [domains] shards.
+    [domains] defaults to 1 and is clamped to [\[1, min n 32\]];
+    [domains <= 1] delegates to the serial core outright, so callers can
+    thread a [?domains] argument through unconditionally. *)
+
+val run :
+  ?domains:int ->
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) Simulator.program ->
+  'state array * Simulator.stats
+(** Like {!Simulator.run}, executed on [domains] shards; raises
+    {!Simulator.Round_limit} when [max_rounds] elapse. *)
+
+val run_profiled :
+  ?domains:int ->
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?tracer:Trace.tracer ->
+  ?faults:Fault.t ->
+  Lcs_graph.Graph.t ->
+  ('state, 'msg) Simulator.program ->
+  'state array * Simulator.profiled_stats
+(** Like {!Simulator.run_profiled} on [domains] shards. Note that a
+    profile collector is a tracer: the run takes the serialized replay
+    path, whose per-edge profile is byte-identical at every domain
+    count. *)

@@ -49,14 +49,13 @@ let initial is_root _ctx =
 
 let words = function Join _ | Child | Height _ | Gheight _ -> 1
 
-(* Inbox position of the message being absorbed. Module-level scratch (the
-   simulator activates nodes sequentially) so [absorb] stays a static
-   closure: a per-activation [ref] would put three words on the minor heap
-   for every activation of every untraced run. *)
-let fold_idx = ref (-1)
-
-let absorb st (port, msg) =
-  incr fold_idx;
+(* [idx] is the inbox position of the message being absorbed, threaded as
+   a plain argument so [absorb] stays a static closure with no shared
+   scratch: a module-level ref would race under the sharded core
+   (Simulator_par activates nodes of different shards concurrently), and
+   a per-activation [ref] would put three words on the minor heap for
+   every activation of every untraced run. *)
+let absorb st idx (port, msg) =
   match msg with
   | Join d ->
       if st.dist < 0 then
@@ -67,7 +66,7 @@ let absorb st (port, msg) =
           phase = Announce;
           join_cause =
             (let ids = Trace.Cause.inbox () in
-             if !fold_idx < Array.length ids then ids.(!fold_idx) else 0);
+             if idx < Array.length ids then ids.(idx) else 0);
         }
       else st
   | Child ->
@@ -87,11 +86,14 @@ let absorb st (port, msg) =
         }
   | Gheight h -> { st with global_height = h }
 
+let rec absorb_all st idx = function
+  | [] -> st
+  | entry :: rest -> absorb_all (absorb st idx entry) (idx + 1) rest
+
 let on_round ctx state ~inbox =
   let state = { state with clock = state.clock + 1 } in
   (* 1. Absorb messages. *)
-  fold_idx := -1;
-  let state = List.fold_left absorb state inbox in
+  let state = absorb_all state 0 inbox in
   (* 2. Act according to phase. *)
   let degree = Array.length ctx.Simulator.neighbors in
   match state.phase with
@@ -182,9 +184,9 @@ let parents_of_states g states =
     states;
   (parent, parent_edge)
 
-let run ?max_rounds ?tracer g ~root =
+let run ?domains ?max_rounds ?tracer g ~root =
   let program = make_program ~root in
-  let states, stats = Simulator.run ?max_rounds ?tracer g program in
+  let states, stats = Simulator_par.run ?domains ?max_rounds ?tracer g program in
   let parent, parent_edge = parents_of_states g states in
   let tree = Rooted_tree.create ~root ~parent ~parent_edge in
   let height = states.(root).global_height in
@@ -201,7 +203,7 @@ type report = {
   stats : Simulator.stats;
 }
 
-let run_outcome ?max_rounds ?tracer ?faults g ~root =
+let run_outcome ?domains ?max_rounds ?tracer ?faults g ~root =
   (* The wave protocol counts exact round offsets (Child notifications
      arrive announce+2), so it cannot ride on the Reliable ARQ, which
      stretches the clock: it runs raw, and any injected loss degrades the
@@ -211,7 +213,7 @@ let run_outcome ?max_rounds ?tracer ?faults g ~root =
   in
   let program = make_program ~root in
   let states, out_of_rounds, stats =
-    match Simulator.run_outcome ~max_rounds ?tracer ?faults g program with
+    match Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults g program with
     | Simulator.Finished (states, stats) -> (states, false, stats)
     | Simulator.Out_of_rounds (states, p) -> (states, true, p.Simulator.partial_stats)
   in

@@ -10,6 +10,7 @@
     all tree-restricted shortcut machinery runs on. *)
 
 val run :
+  ?domains:int ->
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
   Lcs_graph.Graph.t ->
@@ -17,7 +18,9 @@ val run :
   Lcs_graph.Rooted_tree.t * int * Simulator.stats
 (** [run g ~root] is [(tree, height, stats)]. On a disconnected graph some
     node never joins and the simulation raises {!Simulator.Round_limit}.
-    [tracer] is forwarded to {!Simulator.run}. *)
+    [tracer] is forwarded to the simulator. [domains] (default 1) shards
+    the simulation across that many OCaml domains via {!Simulator_par};
+    every observable is identical at any value. *)
 
 (** {1 Fault-tolerant entry point} *)
 
@@ -32,6 +35,7 @@ type report = {
 }
 
 val run_outcome :
+  ?domains:int ->
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->

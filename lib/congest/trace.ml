@@ -37,11 +37,19 @@ let tee tracers event = List.iter (fun t -> t event) tracers
 
 (* --- Causal annotation plane --------------------------------------------- *)
 
-(* Ambient per-run state shared by the message sources (the two simulator
-   cores and the standalone part-wise routers). Everything is plain refs:
-   runs are sequential, the state is reset at every run start, and when the
-   run is untraced [enabled] stays false so every entry point is one load
-   and a branch — the untraced hot path allocates nothing here. *)
+(* Ambient per-run state shared by the message sources (the simulator
+   cores and the standalone part-wise routers). The state is {e
+   domain-local} (one record per OCaml 5 domain, reached through a single
+   [Domain.DLS] key): the serial cores and the routers live entirely on
+   one domain and behave exactly as before, while the sharded core
+   ([Simulator_par]) gives every worker domain its own activation state —
+   each worker brackets its own nodes with [activate]/[take]/[deactivate]
+   and never touches another worker's declarations. Only the id [counter]
+   of the domain that called [start_run] is ever drawn from ([fresh_id]
+   is reserved to the merge step, which runs on one domain), so ids stay
+   a single per-run monotone sequence. When the run is untraced [enabled]
+   stays false and every entry point is one DLS load and a branch — the
+   untraced hot path allocates nothing here. *)
 module Cause = struct
   (* One pending per-port declaration, queued by [emit] and consumed FIFO
      per port by [take]. *)
@@ -52,85 +60,111 @@ module Cause = struct
     o_phase : string;
   }
 
-  let enabled_flag = ref false
-  let counter = ref 0
-  let cur_inbox : int array ref = ref [||]
-  let cur_inbox_list : int list ref = ref []
-  let inbox_listed = ref false
-  let act_parents : int list option ref = ref None
-  let act_part = ref (-1)
-  let act_phase = ref ""
-  let overrides : override list ref = ref []
+  type state = {
+    mutable enabled_flag : bool;
+    mutable counter : int;
+    mutable cur_inbox : int array;
+    mutable cur_inbox_list : int list;
+    mutable inbox_listed : bool;
+    mutable act_parents : int list option;
+    mutable act_part : int;
+    mutable act_phase : string;
+    mutable overrides : override list;
+  }
 
-  let clear_activation () =
-    cur_inbox := [||];
-    cur_inbox_list := [];
-    inbox_listed := false;
-    act_parents := None;
-    act_part := -1;
-    act_phase := "";
-    overrides := []
+  let key =
+    Domain.DLS.new_key (fun () ->
+        {
+          enabled_flag = false;
+          counter = 0;
+          cur_inbox = [||];
+          cur_inbox_list = [];
+          inbox_listed = false;
+          act_parents = None;
+          act_part = -1;
+          act_phase = "";
+          overrides = [];
+        })
+
+  let state () = Domain.DLS.get key
+
+  let clear_activation s =
+    s.cur_inbox <- [||];
+    s.cur_inbox_list <- [];
+    s.inbox_listed <- false;
+    s.act_parents <- None;
+    s.act_part <- -1;
+    s.act_phase <- "";
+    s.overrides <- []
 
   let start_run ~enabled =
-    enabled_flag := enabled;
-    counter := 0;
-    clear_activation ()
+    let s = state () in
+    s.enabled_flag <- enabled;
+    s.counter <- 0;
+    clear_activation s
 
-  let enabled () = !enabled_flag
+  let enabled () = (state ()).enabled_flag
 
   let fresh_id () =
-    incr counter;
-    !counter
+    let s = state () in
+    s.counter <- s.counter + 1;
+    s.counter
 
   let activate ids =
-    clear_activation ();
-    cur_inbox := ids
+    let s = state () in
+    clear_activation s;
+    s.cur_inbox <- ids
 
-  let deactivate () = clear_activation ()
-  let inbox () = !cur_inbox
+  let deactivate () = clear_activation (state ())
+  let inbox () = (state ()).cur_inbox
 
   let tag ~part ~phase =
-    if !enabled_flag then begin
-      act_part := part;
-      act_phase := phase
+    let s = state () in
+    if s.enabled_flag then begin
+      s.act_part <- part;
+      s.act_phase <- phase
     end
 
-  let parents ps = if !enabled_flag then act_parents := Some ps
+  let parents ps =
+    let s = state () in
+    if s.enabled_flag then s.act_parents <- Some ps
 
   let emit ~port ?parents ~part ~phase () =
-    if !enabled_flag then
-      overrides :=
-        !overrides
+    let s = state () in
+    if s.enabled_flag then
+      s.overrides <-
+        s.overrides
         @ [ { o_port = port; o_parents = parents; o_part = part; o_phase = phase } ]
 
   (* Default parents: every message delivered to the sender this
      activation — the sound Lamport-style over-approximation when the
      protocol declares nothing finer. Listed lazily, once per activation. *)
-  let default_parents () =
-    match !act_parents with
+  let default_parents s =
+    match s.act_parents with
     | Some ps -> ps
     | None ->
-        if not !inbox_listed then begin
-          cur_inbox_list := Array.to_list !cur_inbox;
-          inbox_listed := true
+        if not s.inbox_listed then begin
+          s.cur_inbox_list <- Array.to_list s.cur_inbox;
+          s.inbox_listed <- true
         end;
-        !cur_inbox_list
+        s.cur_inbox_list
 
   let take ~port =
+    let s = state () in
     let rec pick acc = function
       | [] -> None
       | o :: rest when o.o_port = port ->
-          overrides := List.rev_append acc rest;
+          s.overrides <- List.rev_append acc rest;
           Some o
       | o :: rest -> pick (o :: acc) rest
     in
-    match pick [] !overrides with
+    match pick [] s.overrides with
     | Some o ->
         let ps =
-          match o.o_parents with Some ps -> ps | None -> default_parents ()
+          match o.o_parents with Some ps -> ps | None -> default_parents s
         in
         (ps, o.o_part, o.o_phase)
-    | None -> (default_parents (), !act_part, !act_phase)
+    | None -> (default_parents s, s.act_part, s.act_phase)
 end
 
 (* Schema v2: send/duplicate events carry a per-run monotone [id], the

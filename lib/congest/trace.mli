@@ -101,6 +101,15 @@ val event_of_json : Lcs_util.Json.t -> (event, string) result
     branch, no allocation) when the current run is untraced; guard any
     argument construction with {!enabled}.
 
+    The state is {e domain-local} ([Domain.DLS]): on the serial cores and
+    the standalone routers nothing changes, while under the sharded core
+    ({!Simulator_par}) every worker domain brackets its own activations
+    independently. Ids remain one per-run monotone sequence because
+    {!fresh_id} is only ever drawn on the domain that called
+    {!start_run} — the sharded core assigns ids at its deterministic
+    shard-merge step, never inside a worker (see the "parallelism" doc
+    page for the full execution model).
+
     The remaining functions are the source-side half of the contract and
     are only meant for simulator cores and router engines: {!start_run}
     resets the id counter at run start, {!fresh_id} draws the next id in

@@ -3,6 +3,7 @@ module Partition = Lcs_graph.Partition
 module Shortcut = Lcs_shortcut.Shortcut
 module Quality = Lcs_shortcut.Quality
 module Simulator = Lcs_congest.Simulator
+module Simulator_par = Lcs_congest.Simulator_par
 module Trace = Lcs_congest.Trace
 module Rng = Lcs_util.Rng
 module Pqueue = Lcs_util.Pqueue
@@ -160,7 +161,7 @@ let setup ?budget rng shortcut ~values =
     k,
     { max_delay; congestion = r.Quality.congestion; dilation = r.Quality.dilation } )
 
-let minimum ?budget ?obs ?tracer rng shortcut ~values =
+let minimum ?budget ?domains ?obs ?tracer rng shortcut ~values =
   Obs.span obs "pa" @@ fun () ->
   let program, budget, host, partition, _k, sched =
     Obs.span obs "pa.setup" (fun () -> setup ?budget rng shortcut ~values)
@@ -171,7 +172,9 @@ let minimum ?budget ?obs ?tracer rng shortcut ~values =
   Obs.note obs "max_delay" (Obs.Int sched.max_delay);
   let profile, tracer = Pa_obs.profiled obs tracer ~edges:(Graph.m host) in
   Obs.enter obs "pa.run";
-  let states, stats = Simulator.run ~max_rounds:(budget + 8) ?tracer host program in
+  let states, stats =
+    Simulator_par.run ?domains ~max_rounds:(budget + 8) ?tracer host program
+  in
   Pa_obs.record_epochs obs profile ~max_delay:sched.max_delay
     ~rounds:stats.Simulator.rounds;
   Obs.exit obs;
@@ -216,8 +219,8 @@ type report = {
   retransmissions : int;
 }
 
-let minimum_outcome ?budget ?max_rounds ?obs ?tracer ?faults ?(reliable = true) ?config
-    rng shortcut ~values =
+let minimum_outcome ?budget ?domains ?max_rounds ?obs ?tracer ?faults ?(reliable = true)
+    ?config rng shortcut ~values =
   Obs.span obs "pa" @@ fun () ->
   (* The ARQ roughly triples per-hop latency (data + ack round trips), so
      the reliable path gets a proportionally larger round budget unless
@@ -259,12 +262,12 @@ let minimum_outcome ?budget ?max_rounds ?obs ?tracer ?faults ?(reliable = true) 
   let states, retransmissions, unresponsive, out_of_rounds, ostats =
     if reliable then
       extract
-        (Simulator.run_outcome ~max_rounds ?tracer ?faults host
+        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults host
            (Reliable.wrap ?config program))
         Reliable.inner_states Reliable.retransmissions Reliable.dead_links
     else
       extract
-        (Simulator.run_outcome ~max_rounds ?tracer ?faults host program)
+        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults host program)
         Fun.id
         (fun _ -> 0)
         (fun _ -> [])

@@ -26,6 +26,7 @@ type result = {
 
 val minimum :
   ?budget:int ->
+  ?domains:int ->
   ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_util.Rng.t ->
@@ -40,7 +41,10 @@ val minimum :
     [Failure] if some part had not converged within the budget. [tracer]
     observes the underlying {!Lcs_congest.Simulator} run — its per-edge
     profile is how E7-style experiments see the congestion {e
-    distribution} rather than just the maximum. [?obs] opens a ["pa"]
+    distribution} rather than just the maximum. [domains] (default 1)
+    shards the simulation across that many OCaml domains
+    ({!Lcs_congest.Simulator_par}); all observables — minima, rounds,
+    stats, trace — are identical at any value. [?obs] opens a ["pa"]
     span with ["pa.setup"] / ["pa.run"] children, cuts the run into
     ["pa.epoch"] spans at the schedule's epoch boundaries
     ({!Schedule.epochs}), and records rounds-vs-[c + d·log n] (observed =
@@ -63,6 +67,7 @@ type report = {
 
 val minimum_outcome :
   ?budget:int ->
+  ?domains:int ->
   ?max_rounds:int ->
   ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->

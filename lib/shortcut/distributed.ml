@@ -88,8 +88,8 @@ type wave_state = {
          arrivals that completed the collection *)
 }
 
-let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~threshold
-    partition info =
+let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ~variant
+    ~threshold partition info =
   if threshold < 1 then invalid_arg "Distributed.detection_wave: threshold";
   let host = Partition.graph partition in
   let repetitions = match variant with Randomized { repetitions } -> repetitions | Deterministic -> 0 in
@@ -207,7 +207,10 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
       msg_words = (fun _ -> 1);
     }
   in
-  let result = Simulator.run_outcome ?max_rounds ?tracer ?faults host program in
+  let result =
+    Lcs_congest.Simulator_par.run_outcome ?domains ?max_rounds ?tracer ?faults host
+      program
+  in
   let over_of_states states =
     let over = Bitset.create (Graph.m host) in
     Array.iteri
@@ -234,10 +237,11 @@ let detection_wave_outcome ?(seed = 1) ?max_rounds ?tracer ?faults ~variant ~thr
       in
       Error (pending, p.Simulator.partial_stats)
 
-let detection_wave ?seed ?max_rounds ?tracer ?faults ~variant ~threshold partition info =
+let detection_wave ?seed ?domains ?max_rounds ?tracer ?faults ~variant ~threshold
+    partition info =
   match
-    detection_wave_outcome ?seed ?max_rounds ?tracer ?faults ~variant ~threshold
-      partition info
+    detection_wave_outcome ?seed ?domains ?max_rounds ?tracer ?faults ~variant
+      ~threshold partition info
   with
   | Ok (over, stats) -> (over, stats)
   | Error (_pending, partial) -> raise (Simulator.Round_limit partial.Simulator.rounds)
@@ -245,7 +249,7 @@ let detection_wave ?seed ?max_rounds ?tracer ?faults ~variant ~threshold partiti
 (* --- Full pipeline ------------------------------------------------------- *)
 
 let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
-    ?(initial_delta = 1) ?tracer partition ~root =
+    ?(initial_delta = 1) ?domains ?tracer partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
@@ -255,7 +259,9 @@ let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
   Obs.span obs "distributed" (fun () ->
       let tree, height, bfs_stats =
         Obs.span obs "distributed.bfs" (fun () ->
-            let tree, height, stats = Sync_bfs.run ~max_rounds ?tracer host ~root in
+            let tree, height, stats =
+              Sync_bfs.run ?domains ~max_rounds ?tracer host ~root
+            in
             Obs.add_rounds obs stats.Simulator.rounds;
             Obs.note obs "height" (Obs.Int height);
             (tree, height, stats))
@@ -278,8 +284,8 @@ let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
               Obs.note obs "delta" (Obs.Int delta);
               Obs.note obs "threshold" (Obs.Int threshold);
               let over, stats =
-                detection_wave ~seed:(seed + !guesses) ~max_rounds ?tracer ~variant
-                  ~threshold partition info
+                detection_wave ~seed:(seed + !guesses) ?domains ~max_rounds ?tracer
+                  ~variant ~threshold partition info
               in
               Obs.add_rounds obs stats.Simulator.rounds;
               (* A wave buffers up the tree then streams its payload:
@@ -332,7 +338,7 @@ type report = {
 }
 
 let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
-    ?tracer ?faults partition ~root =
+    ?domains ?tracer ?faults partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
@@ -346,7 +352,7 @@ let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_d
      stage always spends its whole budget — the budget must be "generous
      for the fault-free case", not the pipeline-wide 2M ceiling. *)
   let bfs_cap = min max_rounds ((4 * Graph.n host) + 64) in
-  match Sync_bfs.run_outcome ~max_rounds:bfs_cap ?tracer ?faults host ~root with
+  match Sync_bfs.run_outcome ?domains ~max_rounds:bfs_cap ?tracer ?faults host ~root with
   | Lcs_congest.Outcome.Degraded (b, d) ->
       Outcome_t.Degraded
         ( {
@@ -378,8 +384,8 @@ let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_d
         in
         let wave_cap = min max_rounds (256 + (8 * d * max payload 4)) in
         match
-          detection_wave_outcome ~seed:(seed + !guesses) ~max_rounds:wave_cap ?tracer
-            ?faults ~variant ~threshold partition info
+          detection_wave_outcome ~seed:(seed + !guesses) ?domains ~max_rounds:wave_cap
+            ?tracer ?faults ~variant ~threshold partition info
         with
         | Error (pending, partial) ->
             wave_rounds := !wave_rounds + partial.Simulator.rounds;

@@ -45,6 +45,7 @@ val default_repetitions : Lcs_graph.Graph.t -> int
 
 val detection_wave :
   ?seed:int ->
+  ?domains:int ->
   ?max_rounds:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
@@ -60,7 +61,10 @@ val detection_wave :
     [tracer] observes the wave's simulator run; [faults] subjects it to a
     compiled fault plan (a wave that cannot finish raises
     {!Lcs_congest.Simulator.Round_limit} exactly as a fault-free stall
-    would — use {!construct_outcome} for graceful degradation). *)
+    would — use {!construct_outcome} for graceful degradation).
+    [domains] (default 1) shards the wave's simulation across that many
+    OCaml domains ({!Lcs_congest.Simulator_par}); observables are
+    identical at any value. *)
 
 val construct :
   ?obs:Lcs_obs.Obs.t ->
@@ -68,6 +72,7 @@ val construct :
   ?variant:variant ->
   ?max_rounds:int ->
   ?initial_delta:int ->
+  ?domains:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   Lcs_graph.Partition.t ->
   root:int ->
@@ -80,7 +85,10 @@ val construct :
     ["distributed"] span with one ["distributed.bfs"] child and one
     ["distributed.wave"] child per δ guess (each carrying its simulated
     rounds and a rounds-vs-[O(D + payload)] ledger entry), the accepted
-    guess's {!Construct} spans nested alongside. *)
+    guess's {!Construct} spans nested alongside. [domains] shards every
+    simulated stage (BFS and each wave) across that many OCaml domains;
+    the constructed shortcut, stats and trace are identical at any
+    value. *)
 
 (** {1 Fault-tolerant pipeline} *)
 
@@ -101,6 +109,7 @@ val construct_outcome :
   ?variant:variant ->
   ?max_rounds:int ->
   ?initial_delta:int ->
+  ?domains:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
   Lcs_graph.Partition.t ->

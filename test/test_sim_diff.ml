@@ -1,14 +1,20 @@
-(* Differential equivalence of the CSR simulator core (Simulator) against
-   the retained reference implementation (Simulator_ref).
+(* Differential equivalence of the CSR simulator core (Simulator) and the
+   sharded multicore core (Simulator_par) against the retained reference
+   implementation (Simulator_ref).
 
-   The two cores must be observationally indistinguishable: identical
-   final states, statistics, trace event sequences and fault counters on
-   the same graph / program / fault plan — fault-free, faulty, traced,
-   untraced, finished and Out_of_rounds alike. The programs, graphs and
-   plans here are qcheck-generated; the program family below is a
-   deterministic "gossip" whose sends, sizes and halting rounds are all
-   hash-derived from the node's accumulated view, so any divergence in
-   delivery order or content snowballs into different states. *)
+   All cores must be observationally indistinguishable: identical final
+   states, statistics, trace event sequences and fault counters on the
+   same graph / program / fault plan — fault-free, faulty, traced,
+   untraced, finished and Out_of_rounds alike, and for the sharded core
+   at every domain count (the determinism contract of
+   doc/parallelism.mld). The programs, graphs and plans here are
+   qcheck-generated; the program family below is a deterministic "gossip"
+   whose sends, sizes and halting rounds are all hash-derived from the
+   node's accumulated view, so any divergence in delivery order or
+   content snowballs into different states.
+
+   Setting LCS_DOMAINS=<d> adds one more domain count to the sweep — CI
+   uses it to run the whole tier under a second shard geometry. *)
 
 open Core
 
@@ -105,7 +111,15 @@ let gen_plan seed ~n ~m =
 
 (* --- runners ------------------------------------------------------------ *)
 
-type core = Csr | Ref
+type core = Csr | Ref | Par of int
+
+let run_core core ?bandwidth ?max_rounds ?tracer ?faults g program =
+  match core with
+  | Csr -> Simulator.run_outcome ?bandwidth ?max_rounds ?tracer ?faults g program
+  | Ref -> Simulator_ref.run_outcome ?bandwidth ?max_rounds ?tracer ?faults g program
+  | Par d ->
+      Simulator_par.run_outcome ~domains:d ?bandwidth ?max_rounds ?tracer ?faults g
+        program
 
 (* Run one core with a recorder attached and a fresh injector; return
    everything observable. *)
@@ -113,27 +127,56 @@ let observe core ?bandwidth ?max_rounds ?plan g program =
   let recorder = Trace.Recorder.create () in
   let faults = Option.map (fun p -> Fault.compile p) plan in
   let tracer = Trace.Recorder.tracer recorder in
-  let result =
-    match core with
-    | Csr -> Simulator.run_outcome ?bandwidth ?max_rounds ~tracer ?faults g program
-    | Ref -> Simulator_ref.run_outcome ?bandwidth ?max_rounds ~tracer ?faults g program
-  in
+  let result = run_core core ?bandwidth ?max_rounds ~tracer ?faults g program in
   (result, Trace.Recorder.events recorder, Option.map Fault.counts faults)
 
+(* The same, with no tracer attached — the sharded core takes a different
+   (fully parallel) path for untraced fault-free runs, so the untraced
+   observables need their own comparison. *)
+let observe_untraced core ?bandwidth ?max_rounds ?plan g program =
+  let faults = Option.map (fun p -> Fault.compile p) plan in
+  let result = run_core core ?bandwidth ?max_rounds ?faults g program in
+  (result, Option.map Fault.counts faults)
+
+let same_result ra rb =
+  match (ra, rb) with
+  | Simulator.Finished (sa, ta), Simulator.Finished (sb, tb) -> sa = sb && ta = tb
+  | Simulator.Out_of_rounds (sa, pa), Simulator.Out_of_rounds (sb, pb) ->
+      sa = sb && pa = pb
+  | _ -> false
+
 let same_observation (ra, ea, ca) (rb, eb, cb) =
-  let same_result =
-    match (ra, rb) with
-    | Simulator.Finished (sa, ta), Simulator.Finished (sb, tb) -> sa = sb && ta = tb
-    | Simulator.Out_of_rounds (sa, pa), Simulator.Out_of_rounds (sb, pb) ->
-        sa = sb && pa = pb
-    | _ -> false
-  in
-  same_result && ea = eb && ca = cb
+  same_result ra rb && ea = eb && ca = cb
 
 let cores_agree ?bandwidth ?max_rounds ?plan g program =
   same_observation
     (observe Csr ?bandwidth ?max_rounds ?plan g program)
     (observe Ref ?bandwidth ?max_rounds ?plan g program)
+
+(* Domain counts the sharded core is swept over; LCS_DOMAINS adds one. *)
+let domain_counts =
+  let base = [ 2; 3; 4 ] in
+  match Sys.getenv_opt "LCS_DOMAINS" with
+  | None -> base
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 && not (List.mem d base) -> base @ [ d ]
+      | _ -> base)
+
+(* The sharded core at every swept domain count must reproduce the oracle
+   byte for byte: traced observables (events, ids, fault counters) AND
+   the untraced run, which exercises the lock-free parallel fast path. *)
+let sharded_agrees ?bandwidth ?max_rounds ?plan g program =
+  let oracle = observe Ref ?bandwidth ?max_rounds ?plan g program in
+  let oracle_untraced = observe_untraced Ref ?bandwidth ?max_rounds ?plan g program in
+  List.for_all
+    (fun d ->
+      same_observation (observe (Par d) ?bandwidth ?max_rounds ?plan g program) oracle
+      &&
+      let r, c = observe_untraced (Par d) ?bandwidth ?max_rounds ?plan g program in
+      let ro, co = oracle_untraced in
+      same_result r ro && c = co)
+    domain_counts
 
 (* --- properties --------------------------------------------------------- *)
 
@@ -175,6 +218,68 @@ let diff_out_of_rounds =
          payloads. *)
       cores_agree ~max_rounds:2 ?plan g (gossip ~pseed:(mix seed 17) ~bw:1))
 
+(* --- sharded-core properties -------------------------------------------- *)
+
+let diff_sharded_fault_free =
+  QCheck.Test.make ~name:"sharded = reference (fault-free)" ~count:50
+    QCheck.(triple (int_bound 100_000) (int_range 2 20) (int_bound 2))
+    (fun (seed, n, bw_sel) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let bw = 1 + bw_sel in
+      sharded_agrees ~bandwidth:bw g (gossip ~pseed:(mix seed 23) ~bw))
+
+let diff_sharded_faulty =
+  QCheck.Test.make ~name:"sharded = reference (fault plans)" ~count:50
+    QCheck.(triple (int_bound 100_000) (int_range 2 18) (int_bound 1))
+    (fun (seed, n, bw_sel) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let plan = gen_plan seed ~n ~m:(Graph.m g) in
+      let bw = 1 + bw_sel in
+      sharded_agrees ~bandwidth:bw ~plan g (gossip ~pseed:(mix seed 29) ~bw))
+
+let diff_sharded_out_of_rounds =
+  QCheck.Test.make ~name:"sharded = reference (Out_of_rounds)" ~count:20
+    QCheck.(triple (int_bound 100_000) (int_range 2 14) QCheck.bool)
+    (fun (seed, n, with_faults) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 3) in
+      let plan = if with_faults then Some (gen_plan seed ~n ~m:(Graph.m g)) else None in
+      sharded_agrees ~max_rounds:2 ?plan g (gossip ~pseed:(mix seed 37) ~bw:1))
+
+(* Bipartite construction whose every edge joins the low and the high half
+   of the id range: under the sharded core's contiguous shard assignment
+   essentially all traffic crosses a shard boundary, stressing the
+   cross-shard outbox plane rather than the shard-local common case. *)
+let cross_shard_graph seed ~n =
+  let rng = Rng.create seed in
+  let half = n / 2 in
+  let hi = n - half in
+  let b = Builder.create ~n in
+  (* An alternating low/high path 0, half, 1, half+1, ... keeps the graph
+     connected using cut edges only. *)
+  for i = 0 to half - 1 do
+    Builder.add_edge b i (half + min i (hi - 1));
+    if i + 1 < half then Builder.add_edge b (i + 1) (half + min i (hi - 1))
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < n && !attempts < 20 * n do
+    incr attempts;
+    let u = Rng.int rng half and w = half + Rng.int rng hi in
+    if not (Builder.mem_edge b u w) then begin
+      Builder.add_edge b u w;
+      incr added
+    end
+  done;
+  Builder.graph b
+
+let diff_sharded_cross_shard =
+  QCheck.Test.make ~name:"sharded = reference (all-cross-shard traffic)" ~count:40
+    QCheck.(triple (int_bound 100_000) (int_range 4 20) QCheck.bool)
+    (fun (seed, n, with_faults) ->
+      let g = cross_shard_graph seed ~n in
+      let plan = if with_faults then Some (gen_plan seed ~n ~m:(Graph.m g)) else None in
+      sharded_agrees ~bandwidth:2 ?plan g (gossip ~pseed:(mix seed 41) ~bw:2))
+
 (* --- deterministic cases ------------------------------------------------ *)
 
 (* Both cores reject an over-budget send with the same exception payload. *)
@@ -201,7 +306,15 @@ let bandwidth_parity () =
   in
   let a = catch (fun g p -> Simulator.run g p) in
   let b = catch (fun g p -> Simulator_ref.run g p) in
-  check Alcotest.bool "both raise" true (a <> None && a = b)
+  check Alcotest.bool "both raise" true (a <> None && a = b);
+  (* The sharded core raises the identical payload — both on the parallel
+     fast path (untraced) and on the serialized replay path (traced). *)
+  let c = catch (fun g p -> Simulator_par.run ~domains:2 g p) in
+  check Alcotest.bool "sharded raises (fast path)" true (a = c);
+  let d =
+    catch (fun g p -> Simulator_par.run ~domains:2 ~tracer:(fun _ -> ()) g p)
+  in
+  check Alcotest.bool "sharded raises (replay path)" true (a = d)
 
 (* A crash purges the delayed deliveries already in flight toward the dead
    node: they surface as Drop events at the crash round and count as
@@ -259,13 +372,131 @@ let crash_purges_delayed () =
          node. *)
       check Alcotest.bool "to_crashed counts the purge" true (c.Fault.to_crashed >= 4)
 
+(* The acceptance property of the sharded core, verbatim: the per-edge
+   trace profile of a run is byte-identical (as serialized JSON) across
+   --domains 1/2/4 — fault-free and under a fault plan. *)
+let profile_bytes_across_domains () =
+  let g = random_connected_graph 4242 ~n:24 ~extra:12 in
+  let check_case name ?plan () =
+    let profile_json d =
+      let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+      let tracer = Trace.Profile.tracer profile in
+      let faults = Option.map (fun p -> Fault.compile p) plan in
+      ignore
+        (Simulator_par.run_outcome ~domains:d ~bandwidth:2 ~tracer ?faults g
+           (gossip ~pseed:4711 ~bw:2));
+      Json.to_string (Trace.Profile.to_json profile)
+    in
+    let base = profile_json 1 in
+    List.iter
+      (fun d ->
+        check Alcotest.string (Printf.sprintf "%s profile, domains=%d" name d) base
+          (profile_json d))
+      [ 2; 4 ]
+  in
+  check_case "fault-free" ();
+  check_case "faulty" ~plan:(gen_plan 4242 ~n:24 ~m:(Graph.m g)) ()
+
+(* Crash-at-round of a node whose pending delayed deliveries originate in
+   a DIFFERENT shard: for each swept domain count, the sender sits just
+   below the first shard boundary and the victim just above it, so the
+   in-flight traffic the purge must find was buffered by a foreign
+   domain. Observables must still match the serial oracle exactly, and
+   the purge must surface as Drop events at the crash round. *)
+let cross_shard_crash_purge () =
+  let n = 8 in
+  let g = Generators.path n in
+  let program_from sender =
+    {
+      Simulator.init = (fun ctx -> (ctx.Simulator.node, 0));
+      on_round =
+        (fun ctx (id, r) ~inbox ->
+          ignore inbox;
+          let r = r + 1 in
+          let outbox =
+            if id = sender && r <= 4 then
+              let port = ref (-1) in
+              Array.iteri
+                (fun p w -> if w = sender + 1 then port := p)
+                ctx.Simulator.neighbors;
+              [ (!port, r) ]
+            else []
+          in
+          ((id, r), outbox));
+      is_halted = (fun (_, r) -> r >= 6);
+      msg_words = (fun _ -> 1);
+    }
+  in
+  List.iter
+    (fun d ->
+      let bounds = Simulator_par.shard_bounds ~domains:d g in
+      let boundary = bounds.(1) in
+      check Alcotest.bool
+        (Printf.sprintf "shard boundary interior, domains=%d" d)
+        true
+        (boundary > 0 && boundary < n);
+      let sender = boundary - 1 in
+      let program = program_from sender in
+      let plan =
+        {
+          Fault.seed = 3;
+          default = { Fault.reliable_edge with delay = 2 };
+          edges = [];
+          crashes = [ { Fault.node = sender + 1; round = 2 } ];
+        }
+      in
+      let ((_, events, _) as obs_par) = observe (Par d) ~plan g program in
+      let obs_ref = observe Ref ~plan g program in
+      check Alcotest.bool
+        (Printf.sprintf "sharded = reference, domains=%d" d)
+        true
+        (same_observation obs_par obs_ref);
+      let purged =
+        List.exists
+          (function
+            | Trace.Drop { round = 2; src; dst; _ } ->
+                src = sender && dst = sender + 1
+            | _ -> false)
+          events
+      in
+      check Alcotest.bool
+        (Printf.sprintf "foreign-shard purge traced as Drop, domains=%d" d)
+        true purged)
+    domain_counts
+
+(* The cross-shard generator earns its name: at domains=2 the contiguous
+   port-balanced split leaves every generated edge crossing the shard
+   boundary. *)
+let cross_shard_graph_is_cross () =
+  let g = cross_shard_graph 7 ~n:16 in
+  let bounds = Simulator_par.shard_bounds ~domains:2 g in
+  let owner v = if v < bounds.(1) then 0 else 1 in
+  let crossing = ref 0 and total = ref 0 in
+  Graph.iter_edges g (fun _ u v ->
+      incr total;
+      if owner u <> owner v then incr crossing);
+  check Alcotest.bool "boundary interior" true (bounds.(1) > 0 && bounds.(1) < 16);
+  check Alcotest.bool "most edges cross the shard boundary" true
+    (!total > 0 && !crossing * 2 > !total)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ diff_fault_free; diff_faulty; diff_out_of_rounds ]
+    [
+      diff_fault_free;
+      diff_faulty;
+      diff_out_of_rounds;
+      diff_sharded_fault_free;
+      diff_sharded_faulty;
+      diff_sharded_out_of_rounds;
+      diff_sharded_cross_shard;
+    ]
 
 let suite =
   [
     case "bandwidth exception parity" `Quick bandwidth_parity;
     case "crash purges delayed deliveries" `Quick crash_purges_delayed;
+    case "profile bytes identical across domains" `Quick profile_bytes_across_domains;
+    case "cross-shard crash purges foreign deliveries" `Quick cross_shard_crash_purge;
+    case "cross-shard generator sanity" `Quick cross_shard_graph_is_cross;
   ]
   @ props
