@@ -169,6 +169,37 @@ let partwise_entries =
         boosted lbg.Lower_bound_graph.graph lbg.Lower_bound_graph.parts);
   ]
 
+(* Faulty-run overhead: the same flood under the canned light-loss
+   adversary (5% drop, 2% duplication, 5% reorder) with the Reliable ARQ
+   wrapped around it — what self-healing transport costs in allocation
+   terms next to the clean broadcast rows. A fresh injector per run keeps
+   the fault draws identical across iterations, so the row stays
+   deterministic and baseline-gateable. *)
+let faulty_entries =
+  let light_loss =
+    {
+      Fault.empty with
+      Fault.seed = 7;
+      default =
+        { Fault.reliable_edge with Fault.drop = 0.05; duplicate = 0.02; reorder = 0.05 };
+    }
+  in
+  let make name large rows =
+    {
+      name = "faulty/" ^ name;
+      large;
+      prepare =
+        (fun () ->
+          let g = Generators.grid ~rows ~cols:rows in
+          let program = Reliable.wrap (flood_program g ~root:0) in
+          fun () ->
+            ignore
+              (Simulator.run_outcome ~max_rounds:20_000
+                 ~faults:(Fault.compile light_loss) g program));
+    }
+  in
+  [ make "grid16" false 16; make "grid28" true 28 ]
+
 (* The distributed construction is the heaviest simulator client (BFS +
    detection waves); sizes stay modest to keep full mode under a minute. *)
 let distributed_entries =
@@ -388,7 +419,8 @@ let run_suite ~quick ~iters =
       Printf.printf "%-20s  %12.0f w  %8.2f ms\n%!" e.name s.minor_words
         (s.seconds *. 1e3);
       bench_rows := (e.name, sample_json s) :: !bench_rows)
-    (selected (sync_bfs_entries @ partwise_entries @ distributed_entries));
+    (selected
+       (sync_bfs_entries @ partwise_entries @ faulty_entries @ distributed_entries));
   ( Json.Obj
       [
         ("schema", Json.String schema);

@@ -84,6 +84,72 @@ let family_conv =
   let printer ppf _ = Format.fprintf ppf "<family>" in
   Arg.conv ~docv:"FAMILY" (parser, printer)
 
+(* Exit code 2 is reserved for malformed inputs (bad fault plan, bad
+   policy spec) so scripts can tell "fix your file" from "the run went
+   wrong" (1). JSON syntax errors carry Util.Json's line/column. *)
+let load_plan_or_die fpath =
+  match Fault.load_plan fpath with
+  | Ok plan -> plan
+  | Error msg ->
+      Printf.eprintf "lcs: bad fault plan %s: %s\n" fpath msg;
+      exit 2
+
+(* --retry / --policy: both produce an optional Supervisor.policy; a bare
+   --retry means the default escalation ladder. *)
+let policy_term =
+  let retry_arg =
+    Arg.(value & flag
+         & info [ "retry" ]
+             ~doc:"drive the run through the resilience supervisor's default \
+                   escalation ladder (retry re-seeded, escalate to the \
+                   reliable transport, grow the round budget, degrade to the \
+                   sequential baseline); equivalent to --policy with no \
+                   overrides")
+  in
+  let policy_arg =
+    Arg.(value & opt (some string) None
+         & info [ "policy" ] ~docv:"SPEC"
+             ~doc:"override the escalation ladder: comma-separated key=value \
+                   pairs among attempts=N, seed=N, reseed=BOOL, \
+                   reliable-from=N, backoff=N, cap=N, fallback=BOOL \
+                   (implies --retry)")
+  in
+  let combine retry policy =
+    match policy with
+    | None -> if retry then Some Supervisor.default_policy else None
+    | Some spec -> (
+        match Supervisor.policy_of_string spec with
+        | Ok p -> Some p
+        | Error msg ->
+            Printf.eprintf "lcs: bad --policy: %s\n" msg;
+            exit 2)
+  in
+  Term.(const combine $ retry_arg $ policy_arg)
+
+let print_trail (sup : _ Supervisor.run) =
+  List.iter
+    (fun { Supervisor.knobs = k; status } ->
+      Printf.printf "  resilience: attempt %d (%s, seed=%d, budget x%d) -> %s\n"
+        k.Supervisor.attempt
+        (if k.Supervisor.reliable then "reliable" else "raw")
+        k.Supervisor.seed k.Supervisor.budget_factor
+        (match status with
+        | Supervisor.Accepted -> "accepted"
+        | Supervisor.Rejected d ->
+            Printf.sprintf "rejected (crashed=%d dead_links=%d affected=%d%s)"
+              (List.length d.Outcome.crashed)
+              (List.length d.Outcome.unresponsive)
+              (List.length d.Outcome.affected)
+              (if d.Outcome.out_of_rounds then ", out of rounds" else "")
+        | Supervisor.Raised e -> "raised: " ^ e))
+    sup.Supervisor.trail;
+  match sup.Supervisor.source with
+  | Supervisor.Sequential ->
+      print_endline
+        "  resilience: exhausted the ladder — sequential fallback, \
+         degradation recorded"
+  | Supervisor.Attempt _ -> ()
+
 let graph_arg =
   let doc = "Graph family (see syntax above)." in
   Arg.(required & opt (some family_conv) None & info [ "graph"; "g" ] ~docv:"FAMILY" ~doc)
@@ -126,9 +192,95 @@ let info_cmd =
 (* --- shortcut subcommand ------------------------------------------------ *)
 
 let shortcut_cmd =
-  let run family parts seed full trace spans domains =
+  let run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains =
+    (* Theorem 1.5 pipeline under injected faults, optionally supervised.
+       The pipeline has no ARQ path, so the ladder's levers here are
+       re-seeding (both the pipeline and the injector) and, on
+       exhaustion, falling back to the centralized construction — the
+       sequential baseline the distributed protocol reproduces. *)
+    let plan = load_plan_or_die fpath in
+    let base_fault_seed =
+      match fault_seed with Some s -> s | None -> plan.Fault.seed
+    in
+    let run_attempt ~inj_seed ~pipe_seed =
+      Distributed.construct_outcome ~seed:pipe_seed ~domains
+        ~faults:(Fault.compile ~seed:inj_seed plan)
+        partition ~root:0
+    in
+    Printf.printf "fault plan: %s (injector seed %d)\n" fpath base_fault_seed;
+    let o =
+      match policy with
+      | None -> run_attempt ~inj_seed:base_fault_seed ~pipe_seed:seed
+      | Some policy ->
+          let attempt (k : Supervisor.knobs) =
+            let off = k.Supervisor.seed - policy.Supervisor.base_seed in
+            run_attempt ~inj_seed:(base_fault_seed + off) ~pipe_seed:(seed + off)
+          in
+          let fallback _d =
+            let tree = Bfs.tree g ~root:0 in
+            let result, delta = Construct.auto partition ~tree in
+            let height = Rooted_tree.height tree in
+            {
+              Distributed.constructed =
+                Some
+                  {
+                    Distributed.tree;
+                    height;
+                    delta;
+                    threshold = 8 * delta * height;
+                    result;
+                    bfs_stats =
+                      { Simulator.rounds = 0; messages = 0; words = 0; max_edge_load = 0 };
+                    wave_rounds = 0;
+                    wave_messages = 0;
+                    guesses = 0;
+                  };
+              failed_stage = None;
+              unjoined = [];
+              pipeline_rounds = 0;
+              validated = Some true;
+            }
+          in
+          let sup = Supervisor.run ~policy ~fallback attempt in
+          print_trail sup;
+          sup.Supervisor.outcome
+    in
+    let r = Outcome.value o in
+    (match o with
+    | Outcome.Complete _ ->
+        Printf.printf "distributed pipeline under faults: COMPLETE\n"
+    | Outcome.Degraded (_, d) ->
+        Printf.printf
+          "distributed pipeline under faults: DEGRADED — crashed=%d \
+           unjoined=%d%s%s\n"
+          (List.length d.Outcome.crashed)
+          (List.length r.Distributed.unjoined)
+          (match r.Distributed.failed_stage with
+          | Some s -> Printf.sprintf " failed_stage=%s" s
+          | None -> "")
+          (if d.Outcome.out_of_rounds then " (round budget exhausted)" else ""));
+    (match r.Distributed.constructed with
+    | Some c ->
+        Printf.printf
+          "  constructed: delta=%d threshold=%d covered=%d/%d \
+           pipeline_rounds=%d validated=%s\n"
+          c.Distributed.delta c.Distributed.threshold
+          c.Distributed.result.Construct.selected_count (Partition.k partition)
+          r.Distributed.pipeline_rounds
+          (match r.Distributed.validated with
+          | Some true -> "yes"
+          | Some false -> "NO"
+          | None -> "-")
+    | None -> Printf.printf "  no shortcut constructed\n");
+    if r.Distributed.validated = Some false then 1 else 0
+  in
+  let run family parts seed full trace spans faults fault_seed policy domains =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
+    match faults with
+    | Some fpath ->
+        run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains
+    | None ->
     let tree = Bfs.tree g ~root:0 in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     if full then begin
@@ -209,27 +361,38 @@ let shortcut_cmd =
              ~doc:"write the construction's span tree as Chrome trace-event \
                    JSON (Perfetto-loadable) to $(docv)")
   in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"PLAN"
+             ~doc:"run the distributed (Theorem 1.5) pipeline under the \
+                   lcs-fault-plan/1 JSON file $(docv) and report a \
+                   complete/degraded outcome; composes with --retry/--policy")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"override the fault plan's seed")
+  in
   Cmd.v
     (Cmd.info "shortcut" ~doc:"construct a Theorem 3.1 shortcut and measure it")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg $ trace_arg
-          $ spans_arg $ domains_arg)
+          $ spans_arg $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg)
 
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans ~domains =
+  let run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans ~domains =
     (* Fault-injection mode: the enforced simulator run (the same protocol
        --trace exercises) under a compiled plan, classified and validated
        by Sim_aggregate.minimum_outcome instead of asserted correct. The
-       Obs collector runs here too, so --spans composes with --faults. *)
-    let plan =
-      match Fault.load_plan fpath with
-      | Ok plan -> plan
-      | Error msg ->
-          Printf.eprintf "lcs: bad fault plan %s: %s\n" fpath msg;
-          exit 1
+       Obs collector runs here too, so --spans composes with --faults.
+       With --retry/--policy the run goes through the resilience
+       supervisor: re-seeded attempts, raw -> reliable escalation, grown
+       budgets, and finally the sequential surviving-minima fallback. *)
+    let plan = load_plan_or_die fpath in
+    let base_fault_seed =
+      match fault_seed with Some s -> s | None -> plan.Fault.seed
     in
-    let injector = Fault.compile ?seed:fault_seed plan in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     let recorder = Trace.Recorder.create () in
     let profile = Trace.Profile.create ~edges:(Graph.m g) () in
@@ -238,14 +401,57 @@ let pa_cmd =
       else
         Some (Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ])
     in
-    let o =
-      Sim_aggregate.minimum_outcome ~domains ?obs ?tracer ~faults:injector
-        (Rng.create (seed + 7)) sc ~values
+    let last_counts = ref None in
+    let run_attempt ?reliable ?budget ~inj_seed ~sched_seed () =
+      let injector = Fault.compile ~seed:inj_seed plan in
+      let o =
+        Sim_aggregate.minimum_outcome ~domains ?obs ?tracer ?reliable ?budget
+          ~faults:injector
+          (Rng.create sched_seed)
+          sc ~values
+      in
+      last_counts := Some (Fault.counts injector);
+      o
+    in
+    Printf.printf "fault plan: %s (injector seed %d)\n" fpath base_fault_seed;
+    let o, resilience =
+      match policy with
+      | None ->
+          (run_attempt ~inj_seed:base_fault_seed ~sched_seed:(seed + 7) (), None)
+      | Some policy ->
+          let q = Quality.measure sc in
+          let bound =
+            Aggregate.bound ~congestion:q.Quality.congestion
+              ~dilation:(max 1 q.Quality.dilation) ~n:(Graph.n g)
+          in
+          let attempt (k : Supervisor.knobs) =
+            (* knobs.seed offsets both randomness streams, so a retry is a
+               genuinely different run of the same adversary model. *)
+            let off = k.Supervisor.seed - policy.Supervisor.base_seed in
+            let budget =
+              (if k.Supervisor.reliable then 8 else 1)
+              * ((4 * bound) + 32)
+              * k.Supervisor.budget_factor
+            in
+            run_attempt ~reliable:k.Supervisor.reliable ~budget
+              ~inj_seed:(base_fault_seed + off) ~sched_seed:(seed + 7 + off) ()
+          in
+          let fallback (d : Outcome.degradation) =
+            {
+              Sim_aggregate.minima =
+                Aggregate.surviving_minima sc ~values ~crashed:d.Outcome.crashed;
+              diverged = [];
+              completion_round = 0;
+              ostats = { Simulator.rounds = 0; messages = 0; words = 0; max_edge_load = 0 };
+              retransmissions = 0;
+            }
+          in
+          let sup = Supervisor.run ?obs ~policy ~fallback attempt in
+          print_trail sup;
+          (sup.Supervisor.outcome, Some (Supervisor.to_json sup))
     in
     let r = Outcome.value o in
     let stats = r.Sim_aggregate.ostats in
-    Printf.printf "fault plan: %s (injector seed %d)\n" fpath
-      (match fault_seed with Some s -> s | None -> plan.Fault.seed);
     (match o with
     | Outcome.Complete _ ->
         Printf.printf
@@ -263,7 +469,15 @@ let pa_cmd =
     Printf.printf "  %d rounds, %d messages, %d retransmissions\n"
       stats.Simulator.rounds stats.Simulator.messages
       r.Sim_aggregate.retransmissions;
-    let counts = Fault.counts injector in
+    let counts =
+      (* counts of the last attempt's injector: every attempt compiles a
+         fresh stream, so stale counters never leak across retries *)
+      match !last_counts with
+      | Some c -> c
+      | None ->
+          { Fault.drops = 0; link_down_drops = 0; to_crashed = 0;
+            duplicates = 0; delays = 0; crashes = 0 }
+    in
     Printf.printf
       "  injected: drops=%d link_down=%d to_crashed=%d duplicates=%d \
        delays=%d crashes=%d\n"
@@ -276,7 +490,7 @@ let pa_cmd =
           Report.assemble ~command:"pa" ~protocol:"sim_aggregate.minimum_outcome"
             ~seed ~g
             ~extra:
-              [
+              ([
                 ("parts", Json.Int (Shortcut.k sc));
                 ( "outcome",
                   Json.String
@@ -296,7 +510,11 @@ let pa_cmd =
                   Quality.traffic_to_json
                     (Quality.traffic sc
                        ~edge_words:(Trace.Profile.edge_words profile)) );
-              ]
+               ]
+              @
+              match resilience with
+              | None -> []
+              | Some j -> [ ("resilience", j) ])
             ~profile ~recorder ?obs ()
         in
         Report.write_json path doc ~describe:(fun () ->
@@ -306,7 +524,7 @@ let pa_cmd =
     Report.write_spans ~recorder spans obs;
     0
   in
-  let run family parts seed trace spans faults fault_seed domains =
+  let run family parts seed trace spans faults fault_seed policy domains =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -314,7 +532,8 @@ let pa_cmd =
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
     match faults with
-    | Some fpath -> run_faulty g sc values ~seed ~fpath ~fault_seed ~trace ~spans ~domains
+    | Some fpath ->
+        run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans ~domains
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -395,12 +614,12 @@ let pa_cmd =
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ spans_arg
-          $ faults_arg $ fault_seed_arg $ domains_arg)
+          $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 
 let mst_cmd =
-  let run family seed mode trace spans domains =
+  let run family seed mode trace spans policy domains =
     let g, _shape = build_family seed family in
     let w = Weights.random_distinct (Rng.create (seed + 3)) g in
     let mode =
@@ -412,8 +631,43 @@ let mst_cmd =
     in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     let recorder, profile, tracer = Report.tracing g ~on:(obs <> None) in
-    let result = Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode ~domains w in
-    let ok = result.Mst.edges = Kruskal.mst w in
+    let reference = Kruskal.mst w in
+    let result =
+      match policy with
+      | None -> Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode ~domains w
+      | Some policy ->
+          (* MST has no fault-injection path, so the ladder's lever is
+             re-seeding the engine; acceptance is correctness against
+             Kruskal, and the sequential fallback IS Kruskal — recorded
+             as such, never passed off as a distributed run. *)
+          let attempt (k : Supervisor.knobs) =
+            let off = k.Supervisor.seed - policy.Supervisor.base_seed in
+            Outcome.Complete
+              (Mst.boruvka ?obs ?tracer ~seed:(seed + 4 + off) ~mode ~domains w)
+          in
+          let accept = function
+            | Outcome.Complete r -> r.Mst.edges = reference
+            | Outcome.Degraded _ -> false
+          in
+          let fallback _d =
+            {
+              Mst.edges = reference;
+              weight = Weights.total w reference;
+              accounting =
+                {
+                  Boruvka_engine.phases = 0;
+                  pa_rounds = 0;
+                  pa_messages = 0;
+                  max_congestion = 0;
+                  final_fragments = 1;
+                };
+            }
+          in
+          let sup = Supervisor.run ?obs ~policy ~accept ~fallback attempt in
+          print_trail sup;
+          Outcome.value sup.Supervisor.outcome
+    in
+    let ok = result.Mst.edges = reference in
     Printf.printf
       "MST: weight=%d edges=%d phases=%d pa_rounds=%d correct_vs_kruskal=%b\n"
       result.Mst.weight
@@ -468,7 +722,7 @@ let mst_cmd =
   Cmd.v
     (Cmd.info "mst" ~doc:"distributed Boruvka MST with measured PA rounds")
     Term.(const run $ graph_arg $ seed_arg $ mode_arg $ trace_arg $ spans_arg
-          $ domains_arg)
+          $ policy_term $ domains_arg)
 
 (* --- export subcommand -------------------------------------------------------- *)
 
@@ -648,6 +902,152 @@ let analyze_cmd =
              round count")
     Term.(const run $ trace_pos $ json_arg $ flows_arg)
 
+(* --- chaos subcommand --------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run graphs parts seed plan_paths nseeds intensities_s iters shrink reliable
+      out =
+    let intensities =
+      String.split_on_char ',' intensities_s
+      |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None
+             else
+               match float_of_string_opt s with
+               | Some x when x >= 0. -> Some x
+               | _ ->
+                   Printf.eprintf "lcs: bad --intensities entry %S\n" s;
+                   exit 2)
+    in
+    let seeds = List.init (max 1 nseeds) (fun i -> seed + i) in
+    let named_plans =
+      List.map (fun p -> (Filename.basename p, load_plan_or_die p)) plan_paths
+    in
+    let campaigns =
+      List.map
+        (fun spec ->
+          let family =
+            match parse_family spec with
+            | Ok f -> f
+            | Error e ->
+                Printf.eprintf "lcs: bad --graph %s: %s\n" spec e;
+                exit 2
+          in
+          let g, shape = build_family seed family in
+          let partition = build_partition seed g shape parts in
+          let subject =
+            Chaos.pa_subject ~reliable
+              ~name:(spec ^ if reliable then " reliable" else " raw")
+              ~graph:g ~partition ()
+          in
+          let plans =
+            (* default adversaries when no --plan is given: the two canned
+               profiles plus a computed cut-severing partition plan (the
+               plans/partition_heavy.json idea, adapted to this graph) *)
+            if named_plans <> [] then named_plans
+            else
+              [
+                ("light_loss", Lcs_experiments.Exp_faults.light_loss_plan ~seed:7);
+                ( "crash_heavy",
+                  Lcs_experiments.Exp_faults.crash_heavy_plan ~seed:11 ~n:(Graph.n g) );
+                ("partition", Lcs_experiments.Exp_chaos.partition_plan ~g ~seed:23);
+              ]
+          in
+          Chaos.campaign ~intensities ~seeds ~search_iters:iters ~shrink ~plans
+            ~subjects:[ subject ] ())
+        graphs
+    in
+    let report =
+      {
+        Chaos.intensities;
+        seeds;
+        cases = List.concat_map (fun (c : Chaos.t) -> c.Chaos.cases) campaigns;
+      }
+    in
+    List.iter
+      (fun (case : Chaos.case) ->
+        Printf.printf "%s / %s:\n" case.Chaos.subject case.Chaos.plan_name;
+        List.iter
+          (fun (pt : Chaos.sweep_point) ->
+            Printf.printf "  x%-5g %s\n" pt.Chaos.intensity
+              (String.concat " "
+                 (List.map
+                    (fun (s, v) ->
+                      Printf.sprintf "seed%d=%s" s (Chaos.verdict_to_string v))
+                    pt.Chaos.verdicts)))
+          case.Chaos.sweep;
+        (match case.Chaos.threshold with
+        | None -> print_endline "  threshold: none found in swept range"
+        | Some t -> Printf.printf "  threshold: x%.4f\n" t);
+        match case.Chaos.shrunk with
+        | None -> ()
+        | Some s ->
+            Printf.printf "  shrunk (%d probes): %s\n" s.Chaos.probes
+              (Json.to_string ~minify:true (Fault.plan_to_json s.Chaos.minimal)))
+      report.Chaos.cases;
+    (match out with
+    | None -> ()
+    | Some path ->
+        Report.write_json path (Chaos.to_json report) ~describe:(fun () ->
+            Printf.printf "chaos: wrote %s (%d cases)\n" path
+              (List.length report.Chaos.cases)));
+    0
+  in
+  let graphs_arg =
+    Arg.(value & opt_all string [ "grid:6" ]
+         & info [ "graph"; "g" ] ~docv:"FAMILY"
+             ~doc:"graph family to subject to the campaign (repeatable)")
+  in
+  let parts_arg =
+    Arg.(value & opt string "voronoi:6"
+         & info [ "parts"; "p" ] ~docv:"PARTS"
+             ~doc:"partition spec applied to every --graph")
+  in
+  let plan_arg =
+    Arg.(value & opt_all string []
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"lcs-fault-plan/1 file to sweep (repeatable); default: \
+                   built-in light_loss, crash_heavy and a computed \
+                   cut-severing partition plan")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 2
+         & info [ "seeds" ] ~docv:"N" ~doc:"run N seeds (base --seed upward) per cell")
+  in
+  let intensities_arg =
+    Arg.(value & opt string "0.5,1,2,4"
+         & info [ "intensities" ] ~docv:"CSV"
+             ~doc:"comma-separated fault-intensity factors (Fault.scale)")
+  in
+  let iters_arg =
+    Arg.(value & opt int 6
+         & info [ "search-iters" ] ~docv:"N"
+             ~doc:"bisection steps refining each failure threshold")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"delta-debug each first failing cell to a minimal \
+                   reproducing plan (deterministic: same inputs, \
+                   byte-identical report)")
+  in
+  let reliable_arg =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"test the ARQ-wrapped transport instead of the raw one")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"PATH"
+             ~doc:"write the lcs-chaos-report/1 JSON here")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"sweep fault intensity over graph families, bisect failure \
+             thresholds, and shrink failing plans")
+    Term.(const run $ graphs_arg $ parts_arg $ seed_arg $ plan_arg $ seeds_arg
+          $ intensities_arg $ iters_arg $ shrink_arg $ reliable_arg $ out_arg)
+
 (* --- experiment passthrough -------------------------------------------------- *)
 
 let experiment_cmd =
@@ -673,5 +1073,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; export_cmd; certificate_cmd;
-            analyze_cmd; experiment_cmd ]))
+          [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; chaos_cmd; export_cmd;
+            certificate_cmd; analyze_cmd; experiment_cmd ]))

@@ -215,6 +215,84 @@ let load_plan path =
       close_in ic;
       plan_of_string contents
 
+(* --- Plan algebra --------------------------------------------------------- *)
+
+let round_nearest x = int_of_float (Float.round x)
+
+let scale_edge f e =
+  let prob p = Float.min 1. (f *. p) in
+  let down =
+    List.filter_map
+      (fun (lo, hi) ->
+        let len = round_nearest (f *. float_of_int (hi - lo + 1)) in
+        if len <= 0 then None else Some (lo, lo + len - 1))
+      e.down
+  in
+  {
+    drop = prob e.drop;
+    duplicate = prob e.duplicate;
+    reorder = prob e.reorder;
+    delay = max 0 (round_nearest (f *. float_of_int e.delay));
+    down;
+  }
+
+let scale f p =
+  if f < 0. || Float.is_nan f then
+    invalid_arg (Printf.sprintf "Fault.scale: factor must be >= 0, got %g" f);
+  let keep =
+    let total = List.length p.crashes in
+    min total (round_nearest (f *. float_of_int total))
+  in
+  {
+    p with
+    default = scale_edge f p.default;
+    edges = List.map (fun (e, ef) -> (e, scale_edge f ef)) p.edges;
+    crashes = List.filteri (fun i _ -> i < keep) p.crashes;
+  }
+
+let merge_edge a b =
+  let prob pa pb = 1. -. ((1. -. pa) *. (1. -. pb)) in
+  {
+    drop = prob a.drop b.drop;
+    duplicate = prob a.duplicate b.duplicate;
+    reorder = prob a.reorder b.reorder;
+    delay = a.delay + b.delay;
+    down = a.down @ b.down;
+  }
+
+let merge a b =
+  let profile p e =
+    match List.assoc_opt e p.edges with Some f -> f | None -> p.default
+  in
+  let ids =
+    List.sort_uniq compare (List.map fst a.edges @ List.map fst b.edges)
+  in
+  let edges = List.map (fun e -> (e, merge_edge (profile a e) (profile b e))) ids in
+  let crashes =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt tbl c.node with
+        | Some r when r <= c.round -> ()
+        | _ -> Hashtbl.replace tbl c.node c.round)
+      (a.crashes @ b.crashes);
+    Hashtbl.fold (fun node round acc -> { node; round } :: acc) tbl []
+    |> List.sort (fun x y -> compare (x.round, x.node) (y.round, y.node))
+  in
+  {
+    seed = a.seed;
+    default = merge_edge a.default b.default;
+    edges;
+    crashes;
+  }
+
+let clip ~nodes ~edges p =
+  {
+    p with
+    edges = List.filter (fun (e, _) -> e >= 0 && e < edges) p.edges;
+    crashes = List.filter (fun c -> c.node >= 0 && c.node < nodes) p.crashes;
+  }
+
 (* --- Injector ------------------------------------------------------------ *)
 
 type counts = {

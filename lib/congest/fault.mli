@@ -69,6 +69,39 @@ val plan_of_string : string -> (plan, string) result
 val load_plan : string -> (plan, string) result
 (** Read a plan from a file. *)
 
+(** {1 Plan algebra}
+
+    Deterministic plan transformations for the chaos campaign engine
+    ([Lcs_resilience.Chaos]): sweep fault intensity with {!scale},
+    compose adversaries with {!merge}, adapt a canned plan to a smaller
+    graph with {!clip}. All three are pure — transforming a plan never
+    touches an injector. *)
+
+val scale : float -> plan -> plan
+(** [scale f p] multiplies the plan's intensity by [f >= 0]
+    ([Invalid_argument] otherwise): probabilities are scaled and clamped
+    to [\[0,1\]]; fixed delays are scaled and rounded to the nearest
+    round; each link-down interval keeps its start and scales its
+    length (an interval scaled below one round disappears); the crash
+    list is truncated to the first [round (f * count)] entries (capped
+    at [count] — scaling cannot invent crashes). [scale 1.0] is the
+    identity; [scale 0.0] is a fault-free plan. The seed is
+    unchanged. *)
+
+val merge : plan -> plan -> plan
+(** [merge a b] is both adversaries at once: per-field, probabilities
+    compose as independent events ([1 - (1-pa)(1-pb)]), delays add, and
+    down intervals union ([a]'s before [b]'s). Per-edge overrides are
+    combined against each plan's own default (an edge overridden in
+    only one plan still inherits the other's default). Crashes union,
+    keeping the {e earliest} round when both plans crash the same node,
+    sorted by [(round, node)]. The seed is [a]'s. *)
+
+val clip : nodes:int -> edges:int -> plan -> plan
+(** Drop crashes of nodes [>= nodes] and overrides of edge ids
+    [>= edges], so a plan written for one topology can be replayed on a
+    smaller one. *)
+
 (** {1 Injector} *)
 
 type t

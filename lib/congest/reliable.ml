@@ -209,3 +209,12 @@ let dead_links states =
   |> List.sort compare
 
 let retransmissions states = Array.fold_left (fun acc s -> acc + s.retrans) 0 states
+
+let quiesced states =
+  Array.for_all
+    (fun s ->
+      Array.for_all
+        (fun ps ->
+          ps.dead || (Option.is_none ps.inflight && Queue.is_empty ps.outq && Option.is_none ps.ack_due))
+        s.ports)
+    states

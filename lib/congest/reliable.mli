@@ -65,3 +65,10 @@ val dead_links : ('state, 'msg) state array -> (int * int) list
 
 val retransmissions : ('state, 'msg) state array -> int
 (** Total retransmitted frames across all nodes. *)
+
+val quiesced : ('state, 'msg) state array -> bool
+(** Every port of every node is either dead or fully drained: nothing in
+    flight, nothing queued, no ack owed. A run that finishes with no
+    {!dead_links} must satisfy this — the [linger] tail exists precisely
+    so nodes do not halt while a neighbor still owes or awaits a
+    frame. *)

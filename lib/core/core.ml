@@ -65,6 +65,10 @@ module Subgraphs = Lcs_partwise.Subgraphs
 module Schedule = Lcs_partwise.Schedule
 module Sim_aggregate = Lcs_partwise.Sim_aggregate
 
+(* Resilience *)
+module Supervisor = Lcs_resilience.Supervisor
+module Chaos = Lcs_resilience.Chaos
+
 (* Algorithms *)
 module Boruvka_engine = Lcs_algos.Boruvka_engine
 module Mst = Lcs_algos.Mst

@@ -1,0 +1,15 @@
+(** E20 — chaos campaign over part-wise aggregation.
+
+    Sweeps the three canned adversaries (light loss, crash-heavy, and a
+    computed cut-severing partition plan) through an intensity ladder
+    against raw-transport part-wise aggregation on a grid and a random
+    partial 4-tree, bisects each case's failure threshold, and
+    delta-debugs the first failing cell down to a minimal reproducing
+    plan ({!Core.Chaos}). *)
+
+val partition_plan : g:Core.Graph.t -> seed:int -> Core.Fault.plan
+(** Link-down intervals on every edge crossing the [{v < n/2}] cut
+    (rounds 4–12), plus 1% background drop — a graph-agnostic temporary
+    partition. *)
+
+val e20 : ?seed:int -> unit -> Exp_types.outcome

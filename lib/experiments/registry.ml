@@ -19,6 +19,7 @@ let all =
     ("E17", Exp_distributed.e17);
     ("E18", Exp_algos.e18);
     ("E19", Exp_faults.e19);
+    ("E20", Exp_chaos.e20);
   ]
 
 let find id =

@@ -1,0 +1,219 @@
+module Json = Lcs_util.Json
+module Obs = Lcs_obs.Obs
+module Outcome = Lcs_congest.Outcome
+
+type knobs = { attempt : int; seed : int; reliable : bool; budget_factor : int }
+
+type policy = {
+  max_attempts : int;
+  base_seed : int;
+  reseed : bool;
+  reliable_from : int;
+  backoff : int;
+  backoff_cap : int;
+  fallback : bool;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_seed = 1;
+    reseed = true;
+    reliable_from = 2;
+    backoff = 2;
+    backoff_cap = 8;
+    fallback = true;
+  }
+
+let policy_of_string ?(base = default_policy) s =
+  let ( let* ) = Result.bind in
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "policy: %s wants an integer, got %S" key v)
+  in
+  let bool_of key v =
+    match v with
+    | "true" -> Ok true
+    | "false" -> Ok false
+    | _ -> Error (Printf.sprintf "policy: %s wants true or false, got %S" key v)
+  in
+  let apply p tok =
+    match String.index_opt tok '=' with
+    | None -> Error (Printf.sprintf "policy: expected key=value, got %S" tok)
+    | Some i -> (
+        let key = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match key with
+        | "attempts" ->
+            let* n = int_of key v in
+            if n < 1 then Error "policy: attempts must be >= 1"
+            else Ok { p with max_attempts = n }
+        | "seed" ->
+            let* n = int_of key v in
+            Ok { p with base_seed = n }
+        | "reseed" ->
+            let* b = bool_of key v in
+            Ok { p with reseed = b }
+        | "reliable-from" ->
+            let* n = int_of key v in
+            if n < 1 then Error "policy: reliable-from must be >= 1"
+            else Ok { p with reliable_from = n }
+        | "backoff" ->
+            let* n = int_of key v in
+            if n < 1 then Error "policy: backoff must be >= 1"
+            else Ok { p with backoff = n }
+        | "cap" ->
+            let* n = int_of key v in
+            if n < 1 then Error "policy: cap must be >= 1"
+            else Ok { p with backoff_cap = n }
+        | "fallback" ->
+            let* b = bool_of key v in
+            Ok { p with fallback = b }
+        | _ -> Error (Printf.sprintf "policy: unknown key %S" key))
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun tok -> String.trim tok <> "")
+  |> List.fold_left
+       (fun acc tok -> Result.bind acc (fun p -> apply p (String.trim tok)))
+       (Ok base)
+
+let knobs_for policy i =
+  let rec pow b e = if e <= 0 then 1 else b * pow b (e - 1) in
+  {
+    attempt = i;
+    seed = (if policy.reseed then policy.base_seed + i - 1 else policy.base_seed);
+    reliable = i >= policy.reliable_from;
+    budget_factor = min (pow policy.backoff (i - 1)) policy.backoff_cap;
+  }
+
+type status = Accepted | Rejected of Outcome.degradation | Raised of string
+type attempt_record = { knobs : knobs; status : status }
+type source = Attempt of int | Sequential
+
+type 'a run = {
+  outcome : 'a Outcome.t;
+  source : source;
+  trail : attempt_record list;
+  policy : policy;
+}
+
+let run ?obs ?(policy = default_policy) ?(accept = Outcome.is_complete) ?fallback
+    attempt =
+  let trail = ref [] in
+  let record knobs status = trail := { knobs; status } :: !trail in
+  let note_knobs k =
+    Obs.note obs "attempt" (Obs.Int k.attempt);
+    Obs.note obs "seed" (Obs.Int k.seed);
+    Obs.note obs "reliable" (Obs.Str (string_of_bool k.reliable));
+    Obs.note obs "budget_factor" (Obs.Int k.budget_factor)
+  in
+  let rec climb i ~last ~last_exn =
+    if i > policy.max_attempts then finish ~last ~last_exn
+    else
+      let k = knobs_for policy i in
+      match
+        Obs.span obs "resilience.attempt" (fun () ->
+            note_knobs k;
+            match attempt k with
+            | outcome ->
+                let ok = accept outcome in
+                Obs.note obs "verdict" (Obs.Str (if ok then "accepted" else "rejected"));
+                Ok (outcome, ok)
+            | exception exn ->
+                Obs.note obs "verdict" (Obs.Str "raised");
+                Error exn)
+      with
+      | Ok (outcome, true) ->
+          record k Accepted;
+          { outcome; source = Attempt i; trail = List.rev !trail; policy }
+      | Ok (outcome, false) ->
+          let d =
+            match Outcome.degradation outcome with
+            | Some d -> d
+            | None -> Outcome.no_degradation
+          in
+          record k (Rejected d);
+          climb (i + 1) ~last:(Some (i, outcome)) ~last_exn
+      | Error exn ->
+          record k (Raised (Printexc.to_string exn));
+          climb (i + 1) ~last ~last_exn:(Some exn)
+  and finish ~last ~last_exn =
+    let final_trail () = List.rev !trail in
+    match fallback with
+    | Some recover when policy.fallback ->
+        let d =
+          (* the freshest damage report: the last attempt that ran to
+             completion but was rejected *)
+          let rec latest = function
+            | [] -> Outcome.no_degradation
+            | { status = Rejected d; _ } :: _ -> d
+            | _ :: rest -> latest rest
+          in
+          latest !trail
+        in
+        let v =
+          Obs.span obs "resilience.fallback" (fun () ->
+              Obs.note obs "crashed" (Obs.Int (List.length d.Outcome.crashed));
+              recover d)
+        in
+        { outcome = Outcome.Degraded (v, d); source = Sequential; trail = final_trail (); policy }
+    | _ -> (
+        match last with
+        | Some (i, outcome) -> { outcome; source = Attempt i; trail = final_trail (); policy }
+        | None -> (
+            match last_exn with
+            | Some exn -> raise exn
+            | None -> assert false (* max_attempts >= 1: some branch recorded *)))
+  in
+  if policy.max_attempts < 1 then invalid_arg "Supervisor.run: max_attempts";
+  climb 1 ~last:None ~last_exn:None
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let policy_to_json p =
+  Json.Obj
+    [
+      ("max_attempts", Json.Int p.max_attempts);
+      ("base_seed", Json.Int p.base_seed);
+      ("reseed", Json.Bool p.reseed);
+      ("reliable_from", Json.Int p.reliable_from);
+      ("backoff", Json.Int p.backoff);
+      ("backoff_cap", Json.Int p.backoff_cap);
+      ("fallback", Json.Bool p.fallback);
+    ]
+
+let attempt_to_json { knobs; status } =
+  let base =
+    [
+      ("attempt", Json.Int knobs.attempt);
+      ("seed", Json.Int knobs.seed);
+      ("reliable", Json.Bool knobs.reliable);
+      ("budget_factor", Json.Int knobs.budget_factor);
+    ]
+  in
+  let rest =
+    match status with
+    | Accepted -> [ ("status", Json.String "accepted") ]
+    | Rejected d ->
+        [
+          ("status", Json.String "rejected");
+          ("degradation", Outcome.degradation_to_json d);
+        ]
+    | Raised msg ->
+        [ ("status", Json.String "raised"); ("error", Json.String msg) ]
+  in
+  Json.Obj (base @ rest)
+
+let to_json r =
+  Json.Obj
+    [
+      ("policy", policy_to_json r.policy);
+      ( "source",
+        Json.String
+          (match r.source with
+          | Attempt i -> Printf.sprintf "attempt:%d" i
+          | Sequential -> "sequential") );
+      ("degraded", Json.Bool (not (Outcome.is_complete r.outcome)));
+      ("attempts", Json.List (List.map attempt_to_json r.trail));
+    ]

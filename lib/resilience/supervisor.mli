@@ -1,0 +1,114 @@
+(** Self-healing runs: a declarative escalation ladder over any
+    {!Lcs_congest.Outcome}-returning entry point.
+
+    PR 2's fault plans made damage {e visible} ([Outcome.Degraded] names
+    exactly what was lost); this module makes runs {e repair} it. A
+    {!policy} describes an escalation ladder and {!run} drives an attempt
+    function up that ladder until an acceptable outcome appears:
+
+    + attempt 1 runs the protocol as configured (typically raw
+      transport, the default round budget);
+    + each retry re-seeds the run ([seed = base_seed + attempt - 1], so
+      the injected faults and the schedule's random delays land
+      differently) and grows the round budget by a capped exponential
+      {!policy.backoff} factor;
+    + from attempt {!policy.reliable_from} onwards the [reliable] knob
+      is set, telling the attempt function to wrap its protocol in the
+      {!Lcs_congest.Reliable} ARQ;
+    + when every attempt is exhausted the supervisor degrades
+      {e gracefully}: it invokes the caller's sequential [fallback]
+      (e.g. an {!Lcs_partwise.Aggregate.surviving_minima}-style
+      recomputation) and returns its value as [Degraded] — the
+      degradation is recorded, never hidden, and [source] says
+      [Sequential] so no caller can mistake the fallback for a
+      distributed success.
+
+    The supervisor never interprets the knobs itself — the attempt
+    function receives a {!knobs} record and applies [seed] / [reliable] /
+    [budget_factor] however its protocol spells them ({!run} composes
+    with [?domains] for exactly this reason: the attempt closure decides
+    how many domains to shard over, the ladder is oblivious). Every
+    attempt is an {!Lcs_obs.Obs} span (["resilience.attempt"], with the
+    knobs and verdict as notes; the fallback runs under
+    ["resilience.fallback"]), and {!to_json} renders the full trail as
+    the [resilience] section of run reports. *)
+
+type knobs = {
+  attempt : int;  (** 1-based attempt index *)
+  seed : int;  (** seed for this attempt's randomness *)
+  reliable : bool;  (** wrap the protocol in the {!Lcs_congest.Reliable} ARQ *)
+  budget_factor : int;  (** multiply the base round budget by this *)
+}
+
+type policy = {
+  max_attempts : int;  (** ladder height; at least 1 *)
+  base_seed : int;  (** attempt 1's seed *)
+  reseed : bool;  (** bump the seed each attempt (default) or hold it *)
+  reliable_from : int;
+      (** first attempt with [reliable = true]; greater than
+          [max_attempts] disables the escalation *)
+  backoff : int;  (** budget growth base: attempt [i] gets [backoff^(i-1)] *)
+  backoff_cap : int;  (** ceiling on the budget factor *)
+  fallback : bool;  (** consult the sequential fallback on exhaustion *)
+}
+
+val default_policy : policy
+(** [{max_attempts = 3; base_seed = 1; reseed = true; reliable_from = 2;
+     backoff = 2; backoff_cap = 8; fallback = true}] — retry once
+    re-seeded and reliable with a doubled budget, then once more with a
+    quadrupled one, then fall back. *)
+
+val policy_of_string : ?base:policy -> string -> (policy, string) result
+(** Parse a [--policy] flag value: comma-separated [key=value] pairs
+    overriding [base] (default {!default_policy}). Keys: [attempts],
+    [seed], [reseed], [reliable-from], [backoff], [cap], [fallback];
+    booleans are [true]/[false]. Example:
+    ["attempts=4,reliable-from=2,cap=8,fallback=false"]. *)
+
+val knobs_for : policy -> int -> knobs
+(** The knobs attempt [i] (1-based) runs with under a policy — exposed so
+    tests can pin the ladder shape. *)
+
+type status =
+  | Accepted  (** the outcome satisfied [accept] *)
+  | Rejected of Lcs_congest.Outcome.degradation
+      (** ran to completion but was not acceptable; for a rejected
+          [Complete] outcome this is
+          {!Lcs_congest.Outcome.no_degradation} *)
+  | Raised of string  (** the attempt raised; the exception, printed *)
+
+type attempt_record = { knobs : knobs; status : status }
+
+type source =
+  | Attempt of int  (** the outcome is attempt [i]'s *)
+  | Sequential  (** the outcome is the sequential fallback's *)
+
+type 'a run = {
+  outcome : 'a Lcs_congest.Outcome.t;
+  source : source;
+  trail : attempt_record list;  (** every attempt, in order *)
+  policy : policy;  (** the policy the run was driven by *)
+}
+
+val run :
+  ?obs:Lcs_obs.Obs.t ->
+  ?policy:policy ->
+  ?accept:('a Lcs_congest.Outcome.t -> bool) ->
+  ?fallback:(Lcs_congest.Outcome.degradation -> 'a) ->
+  (knobs -> 'a Lcs_congest.Outcome.t) ->
+  'a run
+(** [run attempt] climbs the ladder. [accept] (default
+    {!Lcs_congest.Outcome.is_complete}) decides when to stop retrying.
+    Exceptions raised by [attempt] are caught and recorded as {!Raised} —
+    an attempt that crashes is just another rung failure.
+
+    On exhaustion: if [fallback] is given and the policy allows it, the
+    result is [Degraded (fallback d, d)] where [d] is the last rejected
+    attempt's degradation (so the caller's recovery sees what was lost);
+    otherwise the last completed outcome is returned as-is, and if
+    {e every} attempt raised, the final exception is re-raised. *)
+
+val to_json : 'a run -> Lcs_util.Json.t
+(** The [resilience] report section: policy echo, per-attempt trail
+    (knobs, status, degradation), and the final source. Deterministic —
+    no wall-clock fields. *)

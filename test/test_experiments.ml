@@ -7,10 +7,10 @@ let case = Alcotest.test_case
 
 let registry_ids () =
   let ids = List.map fst Lcs_experiments.Registry.all in
-  check Alcotest.int "nineteen experiments" 19 (List.length ids);
+  check Alcotest.int "twenty experiments" 20 (List.length ids);
   check (Alcotest.list Alcotest.string) "expected ids"
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19" ]
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20" ]
     ids;
   let unique = List.sort_uniq compare ids in
   check Alcotest.int "ids unique" (List.length ids) (List.length unique)

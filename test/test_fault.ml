@@ -88,6 +88,35 @@ let plan_validation () =
     | Error _ -> true
     | Ok _ -> false)
 
+(* The checked-in partition adversary: it must parse, validate, and its
+   down windows must name exactly a cut of the 8x8 grid it targets —
+   removing those edges disconnects the graph, which is what makes the
+   plan an honest partition and not just scattered noise. *)
+let partition_heavy_plan_severs_the_grid () =
+  let path =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../plans/partition_heavy.json"
+  in
+  match Fault.load_plan path with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      (match Fault.validate plan with Ok _ -> () | Error e -> Alcotest.fail e);
+      let downed =
+        List.filter_map
+          (fun (e, f) -> if f.Fault.down <> [] then Some e else None)
+          plan.Fault.edges
+      in
+      check Alcotest.bool "has down windows" true (downed <> []);
+      let g = Generators.grid ~rows:8 ~cols:8 in
+      check Alcotest.bool "names real edges" true
+        (List.for_all (fun e -> e >= 0 && e < Graph.m g) downed);
+      let b = Builder.create ~n:(Graph.n g) in
+      Graph.iter_edges g (fun e u v ->
+          if not (List.mem e downed) then Builder.add_edge b u v);
+      check Alcotest.bool "the grid is connected" true (Components.is_connected g);
+      check Alcotest.bool "minus the downed edges it is not" false
+        (Components.is_connected (Builder.graph b))
+
 (* --- Byte-identity of fault-free runs ---------------------------------- *)
 
 (* Max-flooding with a fixed halting clock: deterministic, every node
@@ -242,6 +271,126 @@ let convergecast_excludes_crashed_child () =
         r.Convergecast.excluded;
       check (Alcotest.list Alcotest.int) "upstream chain included" [ 0; 1; 2; 3 ]
         r.Convergecast.included
+
+(* --- ARQ timing edge cases ----------------------------------------------- *)
+
+(* The capped-exponential retransmission schedule, pinned end to end on a
+   single edge: with [{rto; rto_max; max_retries}] the data frame goes out
+   at rounds t_1 = 1 and t_{k+1} = t_k + min(2^(k-1)*rto, rto_max). A
+   link-down window covering every send through t_(max_retries) is exactly
+   lethal; one round shorter and the final retransmission slips through. *)
+let send_rounds (c : Reliable.config) =
+  let rec go k t rto acc =
+    if k >= c.Reliable.max_retries then List.rev (t :: acc)
+    else go (k + 1) (t + rto) (min (2 * rto) c.Reliable.rto_max) (t :: acc)
+  in
+  go 1 1 c.Reliable.rto []
+
+let outage_outcome config ~down =
+  let g = Generators.path 2 in
+  let info = Tree_info.of_tree g (Bfs.tree g ~root:0) in
+  let plan =
+    {
+      Fault.empty with
+      Fault.edges = [ (0, { Fault.reliable_edge with Fault.down = [ down ] }) ];
+    }
+  in
+  Broadcast.run_outcome ~config ~faults:(Fault.compile plan) g info ~value:31
+
+let dead_link_exactly_at_threshold () =
+  let config = { Reliable.rto = 2; rto_max = 8; max_retries = 3; linger = 20 } in
+  let last = List.fold_left (fun _ t -> t) 0 (send_rounds config) in
+  check Alcotest.int "schedule: 1, +2, +4" 7 last;
+  (* outage ends one round before the last retransmission: delivered *)
+  (match outage_outcome config ~down:(1, last - 1) with
+  | Outcome.Complete r ->
+      check Alcotest.bool "retransmitted through the outage" true
+        (r.Broadcast.retransmissions > 0)
+  | Outcome.Degraded _ -> Alcotest.fail "the final retransmission must get through");
+  (* outage swallows the last send too: the channel is declared dead *)
+  match outage_outcome config ~down:(1, last) with
+  | Outcome.Complete _ -> Alcotest.fail "every attempt was swallowed"
+  | Outcome.Degraded (r, d) ->
+      check Alcotest.bool "dead link reported" true (d.Outcome.unresponsive <> []);
+      check (Alcotest.list Alcotest.int) "the leaf never got the value" [ 1 ]
+        r.Broadcast.unreached
+
+let prop_backoff_schedule_is_the_threshold =
+  QCheck.Test.make ~name:"reliable: capped backoff sets the exact death threshold"
+    ~count:25
+    QCheck.(triple (int_range 1 4) (int_range 0 2) (int_range 2 4))
+    (fun (rto, cap_shift, max_retries) ->
+      (* rto_max >= 2: the ack round-trip takes two rounds, so a 1-round
+         capped timeout would (correctly) declare death while the final
+         ack is still in flight *)
+      let rto_max = max 2 (rto * (1 lsl cap_shift)) in
+      let config = { Reliable.rto; rto_max; max_retries; linger = rto_max + 4 } in
+      (* rto >= 1 and max_retries >= 2 put the last send at round >= 2,
+         so the pre-outage window [1, last-1] is never empty *)
+      let last = List.fold_left (fun _ t -> t) 0 (send_rounds config) in
+      let survives =
+        match outage_outcome config ~down:(1, last - 1) with
+        | Outcome.Complete _ -> true
+        | Outcome.Degraded _ -> false
+      in
+      let dies =
+        match outage_outcome config ~down:(1, last) with
+        | Outcome.Complete _ -> false
+        | Outcome.Degraded (_, d) -> d.Outcome.unresponsive <> []
+      in
+      survives && dies)
+
+let linger_guards_against_spurious_death () =
+  (* drop exactly the first ack (the [2,2] window): the sender retransmits
+     and the receiver must still be awake to re-ack the duplicate. A
+     1-round linger halts the receiver first, turning the lost ack into a
+     spurious dead link — the delivered value notwithstanding. *)
+  let outcome ~linger =
+    let g = Generators.path 2 in
+    let info = Tree_info.of_tree g (Bfs.tree g ~root:0) in
+    let plan =
+      {
+        Fault.empty with
+        Fault.edges = [ (0, { Fault.reliable_edge with Fault.down = [ (2, 2) ] }) ];
+      }
+    in
+    Broadcast.run_outcome
+      ~config:{ Reliable.rto = 2; rto_max = 8; max_retries = 4; linger }
+      ~faults:(Fault.compile plan) g info ~value:8
+  in
+  (match outcome ~linger:1 with
+  | Outcome.Complete _ -> Alcotest.fail "a 1-round linger must orphan the lost ack"
+  | Outcome.Degraded (r, d) ->
+      check Alcotest.bool "spurious dead link" true (d.Outcome.unresponsive <> []);
+      check Alcotest.bool "yet the value was delivered" true
+        (r.Broadcast.values.(1) = Some 8));
+  match outcome ~linger:9 with
+  | Outcome.Complete r ->
+      check Alcotest.bool "the duplicate was re-acked" true
+        (r.Broadcast.retransmissions > 0)
+  | Outcome.Degraded _ -> Alcotest.fail "linger > rto_max must ride out a lost ack"
+
+let prop_clean_finish_is_quiesced =
+  QCheck.Test.make ~name:"reliable: a clean finish leaves every channel drained"
+    ~count:25
+    QCheck.(pair (int_bound 10_000) (int_range 4 16))
+    (fun (seed, n) ->
+      let n = max 4 n in
+      let g = random_connected_graph seed ~n ~extra:(n / 3) in
+      let plan =
+        {
+          Fault.empty with
+          Fault.seed = seed + 1;
+          default = { Fault.reliable_edge with Fault.drop = 0.25; duplicate = 0.1 };
+        }
+      in
+      let wrapped = Reliable.wrap (flood_program ~rounds:8) in
+      match
+        Simulator.run_outcome ~max_rounds:4_000 ~faults:(Fault.compile plan) g wrapped
+      with
+      | Simulator.Out_of_rounds _ -> QCheck.assume_fail ()
+      | Simulator.Finished (states, _) ->
+          Reliable.dead_links states <> [] || Reliable.quiesced states)
 
 (* --- Fault-tolerant pipeline entry points -------------------------------- *)
 
@@ -405,12 +554,20 @@ let props =
       prop_reliable_broadcast_never_wrong;
       prop_reliable_convergecast_validates;
       prop_fault_free_byte_identical;
+      prop_backoff_schedule_is_the_threshold;
+      prop_clean_finish_is_quiesced;
     ]
 
 let suite =
   [
     case "plan: json roundtrip" `Quick plan_roundtrip;
     case "plan: validation" `Quick plan_validation;
+    case "plan: partition_heavy severs the grid" `Quick
+      partition_heavy_plan_severs_the_grid;
+    case "reliable: dead link exactly at threshold" `Quick
+      dead_link_exactly_at_threshold;
+    case "reliable: linger guards against spurious death" `Quick
+      linger_guards_against_spurious_death;
     case "simulator: empty injector invisible" `Quick empty_injector_is_invisible;
     case "simulator: injector deterministic" `Quick injector_is_deterministic;
     case "simulator: out-of-rounds partial state" `Quick out_of_rounds_keeps_partial_state;

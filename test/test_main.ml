@@ -9,6 +9,7 @@ let () =
       ("causal", Test_causal.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("resilience", Test_resilience.suite);
       ("shortcut", Test_shortcut.suite);
       ("partwise", Test_partwise.suite);
       ("algos", Test_algos.suite);
