@@ -1,5 +1,5 @@
 (* Bench-report differ: compares two BENCH_*.json files produced by
-   sim_bench.exe and gates on allocation regressions.
+   sim_bench.exe or graph_bench.exe and gates on allocation regressions.
 
    CI runs this instead of re-implementing the comparison in shell:
 
@@ -26,21 +26,25 @@ let read_file path =
       Printf.eprintf "bench_diff: cannot read %s: %s\n" path msg;
       exit 2
 
+(* Both bench executables share the report shape (a "benchmarks" object of
+   minor_words/promoted_words/seconds_per_run samples); the schemas of the
+   two compared files must match each other. *)
+let known_schemas = [ "lcs-bench-simulator/2"; "lcs-bench-graph/1" ]
+
 let parse_report path =
   match Json.of_string (read_file path) with
   | Error e ->
       Printf.eprintf "bench_diff: cannot parse %s: %s\n" path e;
       exit 2
-  | Ok doc ->
-      (match Json.member "schema" doc with
-      | Some (Json.String s) when s = "lcs-bench-simulator/2" -> ()
+  | Ok doc -> (
+      match Json.member "schema" doc with
+      | Some (Json.String s) when List.mem s known_schemas -> (doc, s)
       | Some (Json.String s) ->
           Printf.eprintf "bench_diff: %s has unexpected schema %s\n" path s;
           exit 2
       | _ ->
-          Printf.eprintf "bench_diff: %s is not a sim_bench report\n" path;
-          exit 2);
-      doc
+          Printf.eprintf "bench_diff: %s is not a bench report\n" path;
+          exit 2)
 
 let number = function
   | Some (Json.Float f) -> Some f
@@ -99,7 +103,13 @@ let () =
            [--floor WORDS]\n";
         exit 2
   in
-  let baseline = parse_report baseline_path and current = parse_report current_path in
+  let baseline, baseline_schema = parse_report baseline_path
+  and current, current_schema = parse_report current_path in
+  if baseline_schema <> current_schema then begin
+    Printf.eprintf "bench_diff: schema mismatch: %s is %s but %s is %s\n"
+      baseline_path baseline_schema current_path current_schema;
+    exit 2
+  end;
   let table =
     Table.create
       ~title:

@@ -1,0 +1,221 @@
+(* Graph-layer macro-benchmarks: the Bigarray CSR storage at capacity.
+
+   Two families — a planar grid and a preferential-attachment graph —
+   are streamed into CSR form, then driven through graph-level BFS, a
+   flood broadcast (rounds = eccentricity + 1, messages = 2m), a binary
+   write / mmap read round trip, and part-wise minimum aggregation
+   through the CONGEST simulator at 1 and 4 domains.
+
+   Full mode builds both families at 10^7 nodes. The CSR planes live in
+   Bigarrays, so the OCaml heap stays flat while the process holds ~10^8
+   edge slots: the report carries [top_heap_words] next to each build to
+   make that visible, plus the mmap read time of the ~1 GB binary file —
+   O(1) work regardless of size, so milliseconds where the streaming
+   parse takes minutes. The aggregation workload keeps its own (smaller)
+   instance: a CONGEST protocol at 10^7 nodes would need eccentricity
+   many rounds of n activations each, which is not a storage benchmark.
+
+   Allocation words per run are deterministic for a fixed code path,
+   which makes them CI-gateable where timings are not:
+
+     graph_bench.exe [--quick] [--out PATH]
+
+   --quick   small instances, one measured iteration (the CI mode);
+             gate with bench_diff.exe against bench/baseline_graph.json
+   --out     where to write the lcs-bench-graph/1 report
+             (default BENCH_graph.json) *)
+
+open Core
+
+(* --- measurement -------------------------------------------------------- *)
+
+type sample = { minor_words : float; promoted_words : float; seconds : float }
+
+(* One measured execution (builds are too big to repeat); [Gc.minor_words]
+   is the precise allocator counter, so the numbers stay deterministic. *)
+let measure1 f =
+  Gc.full_major ();
+  let mw0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  let s1 = Gc.quick_stat () in
+  let mw1 = Gc.minor_words () in
+  ( result,
+    {
+      minor_words = mw1 -. mw0;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      seconds = t1 -. t0;
+    } )
+
+let sample_json s =
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.minor_words);
+      ("promoted_words", Json.Float s.promoted_words);
+      ("seconds_per_run", Json.Float s.seconds);
+    ]
+
+(* --- workloads ---------------------------------------------------------- *)
+
+(* Flood broadcast at the graph level: the token starts at [root]; every
+   round each holder forwards on all ports once. Rounds = eccentricity + 1,
+   messages = 2m, and the frontier sweep is the same flat-queue walk the
+   CONGEST cores would drive — per-edge storage work without per-node
+   protocol state. Returns (rounds, messages). *)
+let broadcast g ~root =
+  let n = Graph.n g in
+  let has = Bytes.make n '\000' in
+  let frontier = Array.make n 0 in
+  let next = Array.make n 0 in
+  Bytes.unsafe_set has root '\001';
+  frontier.(0) <- root;
+  let flen = ref 1 in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  while !flen > 0 do
+    incr rounds;
+    let nlen = ref 0 in
+    for i = 0 to !flen - 1 do
+      let v = frontier.(i) in
+      Graph.iter_adj g v (fun w _e ->
+          incr messages;
+          if Bytes.unsafe_get has w = '\000' then begin
+            Bytes.unsafe_set has w '\001';
+            next.(!nlen) <- w;
+            incr nlen
+          end)
+    done;
+    Array.blit next 0 frontier 0 !nlen;
+    flen := !nlen
+  done;
+  (!rounds, !messages)
+
+(* BFS: distances + the max level (the round count a distance protocol
+   would need). Returns (levels, reached). *)
+let bfs g ~root =
+  let dist = Bfs.distances g ~src:root in
+  let levels = ref 0 and reached = ref 0 in
+  Array.iter
+    (fun d ->
+      if d >= 0 then begin
+        incr reached;
+        if d > !levels then levels := d
+      end)
+    dist;
+  (!levels, !reached)
+
+(* --- report assembly ---------------------------------------------------- *)
+
+let schema = "lcs-bench-graph/1"
+let bench_rows : (string * Json.t) list ref = ref []
+let detail_rows : (string * Json.t) list ref = ref []
+
+let record name sample details =
+  Printf.printf "%-24s %14.0f w  %10.2f ms\n%!" name sample.minor_words
+    (sample.seconds *. 1e3);
+  bench_rows := (name, sample_json sample) :: !bench_rows;
+  if details <> [] then detail_rows := (name, Json.Obj details) :: !detail_rows
+
+let top_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
+(* One family end to end: build, BFS, broadcast, binary write + mmap read. *)
+let run_family name build =
+  let g, s_build = measure1 build in
+  record ("build/" ^ name) s_build
+    [
+      ("n", Json.Int (Graph.n g));
+      ("m", Json.Int (Graph.m g));
+      ("top_heap_words", Json.Int (top_heap_words ()));
+    ];
+  let (levels, reached), s_bfs = measure1 (fun () -> bfs g ~root:0) in
+  record ("bfs/" ^ name) s_bfs
+    [ ("levels", Json.Int levels); ("reached", Json.Int reached) ];
+  let (rounds, messages), s_bcast = measure1 (fun () -> broadcast g ~root:0) in
+  record ("broadcast/" ^ name) s_bcast
+    [ ("rounds", Json.Int rounds); ("messages", Json.Int messages) ];
+  let path = Filename.temp_file ("lcs_bench_" ^ name) ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let (), s_write = measure1 (fun () -> Graph_io.write_binary path g) in
+      let bytes = (Unix.stat path).Unix.st_size in
+      record ("binary/write/" ^ name) s_write [ ("bytes", Json.Int bytes) ];
+      let g2, s_read = measure1 (fun () -> Graph_io.read_binary path) in
+      if Graph.n g2 <> Graph.n g || Graph.m g2 <> Graph.m g then begin
+        Printf.eprintf "FAIL: binary round trip changed %s: n/m mismatch\n" name;
+        exit 1
+      end;
+      record ("binary/read_mmap/" ^ name) s_read
+        [
+          ("bytes", Json.Int bytes);
+          ("read_ms", Json.Float (s_read.seconds *. 1e3));
+        ]);
+  g
+
+(* Part-wise aggregation through the sharded CONGEST core, 1 vs 4 domains
+   (deterministic at any domain count, so both run anywhere). *)
+let run_partwise ~rows ~cols =
+  let g = Generators.grid ~rows ~cols in
+  let tree = Bfs.tree g ~root:0 in
+  let sc = (Boost.full (Partition.grid_rows g ~rows ~cols) ~tree).Boost.shortcut in
+  let values = Array.init (Graph.n g) (fun v -> (v * 131) mod 65_521) in
+  List.iter
+    (fun domains ->
+      let result, s =
+        measure1 (fun () ->
+            Sim_aggregate.minimum ~domains (Rng.create 17) sc ~values)
+      in
+      record (Printf.sprintf "partwise/grid%dx%d/%ddom" rows cols domains) s
+        [ ("rounds", Json.Int result.Sim_aggregate.rounds) ])
+    [ 1; 4 ]
+
+(* --- entry point -------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_graph.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: graph_bench [--quick] [--out PATH]\n";
+        Printf.eprintf "unknown argument: %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let grid_rows, grid_cols, pa_n, pw_rows, pw_cols =
+    if !quick then (120, 120, 10_000, 28, 28) else (2_500, 4_000, 10_000_000, 160, 160)
+  in
+  let _grid =
+    run_family
+      (Printf.sprintf "grid%dx%d" grid_rows grid_cols)
+      (fun () -> Generators.grid ~rows:grid_rows ~cols:grid_cols)
+  in
+  let _pa =
+    run_family
+      (Printf.sprintf "pa%d" pa_n)
+      (fun () -> Generators.preferential_attachment (Rng.create 11) ~n:pa_n ~m0:3)
+  in
+  run_partwise ~rows:pw_rows ~cols:pw_cols;
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String schema);
+        ("mode", Json.String (if !quick then "quick" else "full"));
+        ("unit", Json.String "words/run");
+        ("benchmarks", Json.Obj (List.rev !bench_rows));
+        ("details", Json.Obj (List.rev !detail_rows));
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

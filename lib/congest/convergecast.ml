@@ -173,7 +173,7 @@ let run_outcome ?max_rounds ?tracer ?faults ?(reliable = true) ?config g info ~v
     Array.iter
       (fun p ->
         if states.(v).got.(p) then begin
-          let w = fst (Lcs_graph.Graph.ports g v).(p) in
+          let w = Lcs_graph.Graph.Row.neighbor (Lcs_graph.Graph.ports g v) p in
           included.(w) <- true;
           visit w
         end)

@@ -23,6 +23,7 @@
 
 module Graph = Lcs_graph.Graph
 module Vec = Lcs_util.Vec
+module Intvec = Lcs_util.Intvec
 
 type ctx = {
   node : int;
@@ -64,54 +65,52 @@ exception Round_limit of int
 (* CSR port layout, shared with the sharded core (Simulator_par). Slot
    [port_offset.(v) + p] describes port [p] of node [v]; [port_reverse]
    holds the local port index at the neighbor that leads back, so delivery
-   is one array read. *)
+   is one array read. The offset/neighbor/edge planes are the graph's own
+   Bigarray-backed CSR arrays shared by reference — nothing is re-derived
+   or copied, and the GC never scans them; only [port_reverse] is
+   computed here. *)
 module Csr = struct
   type t = {
-    port_offset : int array;  (* length n+1; prefix sums of degrees *)
-    port_neighbor : int array;
-    port_edge : int array;
-    port_reverse : int array;
+    port_offset : Intvec.t;  (* length n+1; prefix sums of degrees *)
+    port_neighbor : Intvec.t;
+    port_edge : Intvec.t;
+    port_reverse : Intvec.t;
   }
 
   let build g =
     let n = Graph.n g in
-    let port_offset = Array.make (n + 1) 0 in
-    for v = 0 to n - 1 do
-      port_offset.(v + 1) <- port_offset.(v) + Graph.degree g v
-    done;
-    let total = port_offset.(n) in
-    let port_neighbor = Array.make total 0 in
-    let port_edge = Array.make total 0 in
-    let port_reverse = Array.make total 0 in
+    let port_offset = Graph.csr_offsets g in
+    let port_neighbor = Graph.csr_neighbors g in
+    let port_edge = Graph.csr_edges g in
+    let total = Intvec.get port_offset n in
+    let port_reverse = Intvec.make total 0 in
     (* Each edge occupies exactly two slots; link them as the second one is
-       filled. *)
-    let first_slot = Array.make (Graph.m g) (-1) in
+       seen. *)
+    let first_slot = Intvec.make (Graph.m g) (-1) in
     for v = 0 to n - 1 do
-      let row = Graph.ports g v in
-      let off = port_offset.(v) in
-      Array.iteri
-        (fun p (w, e) ->
-          let s = off + p in
-          port_neighbor.(s) <- w;
-          port_edge.(s) <- e;
-          let s1 = first_slot.(e) in
-          if s1 < 0 then first_slot.(e) <- s
-          else begin
-            port_reverse.(s) <- s1 - port_offset.(w);
-            port_reverse.(s1) <- p
-          end)
-        row
+      let off = Intvec.unsafe_get port_offset v in
+      let stop = Intvec.unsafe_get port_offset (v + 1) in
+      for s = off to stop - 1 do
+        let e = Intvec.unsafe_get port_edge s in
+        let s1 = Intvec.unsafe_get first_slot e in
+        if s1 < 0 then Intvec.unsafe_set first_slot e s
+        else begin
+          let w = Intvec.unsafe_get port_neighbor s in
+          Intvec.unsafe_set port_reverse s (s1 - Intvec.unsafe_get port_offset w);
+          Intvec.unsafe_set port_reverse s1 (s - off)
+        end
+      done
     done;
     { port_offset; port_neighbor; port_edge; port_reverse }
 
   let contexts csr n =
     Array.init n (fun v ->
-        let off = csr.port_offset.(v) in
-        let len = csr.port_offset.(v + 1) - off in
+        let off = Intvec.get csr.port_offset v in
+        let len = Intvec.get csr.port_offset (v + 1) - off in
         {
           node = v;
-          neighbors = Array.sub csr.port_neighbor off len;
-          neighbor_edges = Array.sub csr.port_edge off len;
+          neighbors = Intvec.sub_array csr.port_neighbor ~pos:off ~len;
+          neighbor_edges = Intvec.sub_array csr.port_edge ~pos:off ~len;
         })
 end
 
@@ -157,7 +156,9 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
      nothing here. *)
   let inbox_vecs () =
     Array.init n (fun v ->
-        Vec.create ~capacity:(csr.port_offset.(v + 1) - csr.port_offset.(v)) ())
+        Vec.create
+          ~capacity:(Intvec.get csr.port_offset (v + 1) - Intvec.get csr.port_offset v)
+          ())
   in
   let cur_ports = ref (inbox_vecs ()) in
   let cur_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
@@ -174,7 +175,7 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
   (* Per-round, per-port word budget, flat. [touched] remembers which
      slots are dirty so the end-of-round clear is O(messages), not
      O(ports). *)
-  let total_ports = csr.port_offset.(n) in
+  let total_ports = Intvec.get csr.port_offset n in
   let budget = Array.make (max 1 total_ports) 0 in
   let touched = Array.make (max 1 total_ports) 0 in
   let n_touched = ref 0 in
@@ -252,9 +253,11 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
         end;
         budget.(slot) <- used;
         if used > !max_edge_load then max_edge_load := used;
-        let w = csr.port_neighbor.(slot) in
-        let back = csr.port_reverse.(slot) in
-        let edge = csr.port_edge.(slot) in
+        (* [slot] is in range: the port check above bounds it within v's
+           row, so the unchecked reads are safe. *)
+        let w = Intvec.unsafe_get csr.port_neighbor slot in
+        let back = Intvec.unsafe_get csr.port_reverse slot in
+        let edge = Intvec.unsafe_get csr.port_edge slot in
         (* The causal declaration is consumed once per outgoing message, in
            outbox order, even when the network then drops it — otherwise the
            per-port FIFO would drift at bandwidth > 1. *)
@@ -443,7 +446,7 @@ let run_outcome ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g progr
               Vec.clear ids_v);
           let state, outbox = program.on_round ctxs.(v) states.(v) ~inbox in
           states.(v) <- state;
-          deliver v csr.port_offset.(v) outbox;
+          deliver v (Intvec.get csr.port_offset v) outbox;
           (match tracer with
           | None -> ()
           | Some _ -> Trace.Cause.deactivate ());

@@ -76,13 +76,17 @@ exception Round_limit of int
     part of the stable user API. Slot [port_offset.(v) + p] describes
     port [p] of node [v]; [port_reverse] holds the local port index at
     the neighbor that leads back, so delivering a message is one array
-    read. *)
+    read. The offset/neighbor/edge planes are the graph's own
+    Bigarray-backed CSR arrays ({!Lcs_graph.Graph.csr_offsets} etc.),
+    shared by reference rather than re-derived; only [port_reverse] is
+    built here. *)
 module Csr : sig
   type t = {
-    port_offset : int array;  (** length [n+1]; prefix sums of degrees *)
-    port_neighbor : int array;
-    port_edge : int array;
-    port_reverse : int array;
+    port_offset : Lcs_util.Intvec.t;
+        (** length [n+1]; prefix sums of degrees *)
+    port_neighbor : Lcs_util.Intvec.t;
+    port_edge : Lcs_util.Intvec.t;
+    port_reverse : Lcs_util.Intvec.t;
   }
 
   val build : Lcs_graph.Graph.t -> t

@@ -33,6 +33,7 @@
 
 module Graph = Lcs_graph.Graph
 module Vec = Lcs_util.Vec
+module Intvec = Lcs_util.Intvec
 module Csr = Simulator.Csr
 
 let max_shards = 32
@@ -184,7 +185,10 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
   let live = ref (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 halted) in
   let inbox_vecs () =
     Array.init n (fun v ->
-        Vec.create ~capacity:(csr.Csr.port_offset.(v + 1) - csr.Csr.port_offset.(v)) ())
+        Vec.create
+          ~capacity:
+            (Intvec.get csr.Csr.port_offset (v + 1) - Intvec.get csr.Csr.port_offset v)
+          ())
   in
   let cur_ports = ref (inbox_vecs ()) in
   let cur_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
@@ -192,7 +196,7 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
   let nxt_msgs : 'msg Vec.t array ref = ref (inbox_vecs ()) in
   let cur_ids : int Vec.t array ref = ref (if traced then inbox_vecs () else [||]) in
   let nxt_ids : int Vec.t array ref = ref (if traced then inbox_vecs () else [||]) in
-  let total_ports = csr.Csr.port_offset.(n) in
+  let total_ports = Intvec.get csr.Csr.port_offset n in
   let budget = Array.make (max 1 total_ports) 0 in
   let crashed = Array.make (max 1 n) false in
   let ring_span =
@@ -243,7 +247,9 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
         else
           let ports =
             if serialized then total_ports
-            else csr.Csr.port_offset.(bounds.(s + 1)) - csr.Csr.port_offset.(bounds.(s))
+            else
+              Intvec.get csr.Csr.port_offset bounds.(s + 1)
+              - Intvec.get csr.Csr.port_offset bounds.(s)
           in
           Array.make (max 1 ports) 0)
   in
@@ -272,10 +278,10 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
         if used > maxload_s.(s) then maxload_s.(s) <- used;
         messages_s.(s) <- messages_s.(s) + 1;
         words_s.(s) <- words_s.(s) + size;
-        let w = csr.Csr.port_neighbor.(slot) in
+        let w = Intvec.unsafe_get csr.Csr.port_neighbor slot in
         let cell = out.(s).(owner.(w)) in
         Vec.push cell.ob_dst w;
-        Vec.push cell.ob_port csr.Csr.port_reverse.(slot);
+        Vec.push cell.ob_port (Intvec.unsafe_get csr.Csr.port_reverse slot);
         Vec.push cell.ob_msg msg;
         send_fast s v base rest
   in
@@ -290,7 +296,7 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
           Vec.clear msgs_v;
           let state, outbox = program.Simulator.on_round ctxs.(v) states.(v) ~inbox in
           states.(v) <- state;
-          send_fast s v csr.Csr.port_offset.(v) outbox;
+          send_fast s v (Intvec.get csr.Csr.port_offset v) outbox;
           if program.Simulator.is_halted state then begin
             halted.(v) <- true;
             live_delta.(s) <- live_delta.(s) - 1
@@ -389,7 +395,7 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
       invalid_arg "Simulator: bad port";
     let size = program.Simulator.msg_words msg in
     if size < 1 then invalid_arg "Simulator: msg_words must be >= 1";
-    let slot = csr.Csr.port_offset.(v) + port in
+    let slot = Intvec.get csr.Csr.port_offset v + port in
     let prev = budget.(slot) in
     let used = prev + size in
     if used > bandwidth then
@@ -402,9 +408,9 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
     end;
     budget.(slot) <- used;
     if used > !max_edge_load then max_edge_load := used;
-    let w = csr.Csr.port_neighbor.(slot) in
-    let back = csr.Csr.port_reverse.(slot) in
-    let edge = csr.Csr.port_edge.(slot) in
+    let w = Intvec.unsafe_get csr.Csr.port_neighbor slot in
+    let back = Intvec.unsafe_get csr.Csr.port_reverse slot in
+    let edge = Intvec.unsafe_get csr.Csr.port_edge slot in
     match faults with
     | None ->
         incr messages;

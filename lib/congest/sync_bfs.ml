@@ -177,7 +177,7 @@ let parents_of_states g states =
     (fun v st ->
       if st.parent_port >= 0 then begin
         let adj = Graph.ports g v in
-        let w, e = adj.(st.parent_port) in
+        let w, e = Graph.Row.pair adj st.parent_port in
         parent.(v) <- w;
         parent_edge.(v) <- e
       end)

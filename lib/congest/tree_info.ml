@@ -21,12 +21,10 @@ let of_tree g tree =
         let adj = Graph.ports g v in
         let parent_port = ref (-1) in
         let child_ports = ref [] in
-        Array.iteri
-          (fun port (w, e) ->
+        Graph.Row.iteri adj (fun port w e ->
             if w = parent && e = Rooted_tree.parent_edge tree v then parent_port := port
             else if Rooted_tree.parent tree w = v && Rooted_tree.parent_edge tree w = e
-            then child_ports := port :: !child_ports)
-          adj;
+            then child_ports := port :: !child_ports);
         {
           parent_port = !parent_port;
           child_ports = Array.of_list (List.rev !child_ports);

@@ -12,6 +12,7 @@ module Bitset = Lcs_util.Bitset
 module Pqueue = Lcs_util.Pqueue
 module Json = Lcs_util.Json
 module Vec = Lcs_util.Vec
+module Intvec = Lcs_util.Intvec
 
 (* Observability *)
 module Obs = Lcs_obs.Obs

@@ -1,17 +1,26 @@
+(* Frontiers live in a flat int array with head/tail cursors: each vertex
+   enters the queue at most once, so length n suffices and the traversal
+   allocates exactly one scratch array — Queue.t would box every vertex
+   and chase pointers at 10^7-node scale. *)
+
 let distances_filtered g ~src ~allow =
   let n = Graph.n g in
   if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
   if not (allow src) then invalid_arg "Bfs: source not allowed";
   let dist = Array.make n (-1) in
-  let queue = Queue.create () in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.take queue in
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     Graph.iter_adj g v (fun w _e ->
         if dist.(w) < 0 && allow w then begin
           dist.(w) <- dist.(v) + 1;
-          Queue.add w queue
+          queue.(!tail) <- w;
+          incr tail
         end)
   done;
   dist
@@ -24,45 +33,51 @@ let tree g ~root =
   let parent = Array.make n (-1) in
   let parent_edge = Array.make n (-1) in
   let visited = Array.make n false in
-  let queue = Queue.create () in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
   visited.(root) <- true;
-  Queue.add root queue;
-  let seen = ref 1 in
-  while not (Queue.is_empty queue) do
-    let v = Queue.take queue in
+  queue.(!tail) <- root;
+  incr tail;
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     Graph.iter_adj g v (fun w e ->
         if not visited.(w) then begin
           visited.(w) <- true;
           parent.(w) <- v;
           parent_edge.(w) <- e;
-          incr seen;
-          Queue.add w queue
+          queue.(!tail) <- w;
+          incr tail
         end)
   done;
-  if !seen <> n then invalid_arg "Bfs.tree: graph is not connected";
+  if !tail <> n then invalid_arg "Bfs.tree: graph is not connected";
   Rooted_tree.create ~root ~parent ~parent_edge
 
 let multi_source g ~sources =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
   let owner = Array.make n (-1) in
-  let queue = Queue.create () in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
   Array.iteri
     (fun i s ->
       if s < 0 || s >= n then invalid_arg "Bfs.multi_source: source out of range";
       if dist.(s) < 0 then begin
         dist.(s) <- 0;
         owner.(s) <- i;
-        Queue.add s queue
+        queue.(!tail) <- s;
+        incr tail
       end)
     sources;
-  while not (Queue.is_empty queue) do
-    let v = Queue.take queue in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
     Graph.iter_adj g v (fun w _e ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           owner.(w) <- owner.(v);
-          Queue.add w queue
+          queue.(!tail) <- w;
+          incr tail
         end)
   done;
   (dist, owner)

@@ -21,8 +21,8 @@ let lowlink_scan g ~on_bridge ~on_articulation =
         match !stack with
         | [] -> ()
         | (v, in_edge, cursor) :: rest ->
-            if !cursor < Array.length adj.(v) then begin
-              let w, e = adj.(v).(!cursor) in
+            if !cursor < Graph.Row.length adj.(v) then begin
+              let w, e = Graph.Row.pair adj.(v) !cursor in
               incr cursor;
               if e <> in_edge then begin
                 if tin.(w) < 0 then begin
@@ -64,8 +64,8 @@ let preorder g ~root =
     match !stack with
     | [] -> ()
     | (v, cursor) :: rest ->
-        if !cursor < Array.length adj.(v) then begin
-          let w, _e = adj.(v).(!cursor) in
+        if !cursor < Graph.Row.length adj.(v) then begin
+          let w = Graph.Row.neighbor adj.(v) !cursor in
           incr cursor;
           if order.(w) < 0 then begin
             order.(w) <- !clock;

@@ -1,4 +1,74 @@
 module Rng = Lcs_util.Rng
+module Intvec = Lcs_util.Intvec
+
+(* Edge emitters: each calls [f u v] exactly once per edge, in a fixed
+   order (and, for the randomized families, with a fixed sequence of RNG
+   draws), without materializing an edge list. The eager constructors
+   below feed these into a streaming builder, so a 10^7-node family costs
+   two Bigarray endpoint vectors and nothing on the OCaml heap. *)
+module Stream = struct
+  let grid ~rows ~cols f =
+    if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+    let id r c = (r * cols) + c in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if c + 1 < cols then f (id r c) (id r (c + 1));
+        if r + 1 < rows then f (id r c) (id (r + 1) c)
+      done
+    done
+
+  let random_tree rng ~n f =
+    if n < 1 then invalid_arg "Generators.random_tree";
+    for v = 1 to n - 1 do
+      f (Rng.int rng v) v
+    done
+
+  let preferential_attachment rng ~n ~m0 f =
+    if m0 < 1 then invalid_arg "Generators.preferential_attachment: m0";
+    if n < m0 + 1 then invalid_arg "Generators.preferential_attachment: n";
+    (* Barabási–Albert via an endpoint pool: every emitted edge pushes
+       both endpoints, so sampling the pool uniformly is sampling
+       vertices proportionally to degree. The pool is the only state —
+       2 machine words per edge, off the OCaml heap. *)
+    let m_total = (m0 * (m0 + 1) / 2) + ((n - m0 - 1) * m0) in
+    let pool = Intvec.create ~capacity:(2 * m_total) () in
+    let emit u v =
+      f u v;
+      Intvec.push pool u;
+      Intvec.push pool v
+    in
+    (* Seed: K_{m0+1}, so every seed vertex starts with nonzero degree. *)
+    for u = 0 to m0 - 1 do
+      for v = u + 1 to m0 do
+        emit u v
+      done
+    done;
+    let targets = Array.make m0 (-1) in
+    for v = m0 + 1 to n - 1 do
+      let chosen = ref 0 in
+      while !chosen < m0 do
+        let t = Intvec.get pool (Rng.int rng (Intvec.length pool)) in
+        let dup = ref false in
+        for i = 0 to !chosen - 1 do
+          if targets.(i) = t then dup := true
+        done;
+        if not !dup then begin
+          targets.(!chosen) <- t;
+          incr chosen
+        end
+      done;
+      for i = 0 to m0 - 1 do
+        emit targets.(i) v
+      done
+    done
+end
+
+(* Streaming constructor shared by the big families: no dedup table, no
+   edge list — emitter output goes straight into endpoint vectors. *)
+let of_stream ~n emit =
+  let b = Builder.create_streaming ~n in
+  emit (fun u v -> Builder.add_edge b u v);
+  Builder.graph b
 
 let path n =
   if n < 1 then invalid_arg "Generators.path";
@@ -34,15 +104,7 @@ let wheel n =
 
 let grid ~rows ~cols =
   if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
-  let id r c = (r * cols) + c in
-  let b = Builder.create ~n:(rows * cols) in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      if c + 1 < cols then Builder.add_edge b (id r c) (id r (c + 1));
-      if r + 1 < rows then Builder.add_edge b (id r c) (id (r + 1) c)
-    done
-  done;
-  Builder.graph b
+  of_stream ~n:(rows * cols) (Stream.grid ~rows ~cols)
 
 let torus ~rows ~cols =
   if rows < 3 || cols < 3 then invalid_arg "Generators.torus";
@@ -67,9 +129,10 @@ let binary_tree ~depth =
 
 let random_tree rng ~n =
   if n < 1 then invalid_arg "Generators.random_tree";
-  Graph.create ~n (List.init (n - 1) (fun i ->
-      let v = i + 1 in
-      (Rng.int rng v, v)))
+  of_stream ~n (Stream.random_tree rng ~n)
+
+let preferential_attachment rng ~n ~m0 =
+  of_stream ~n (Stream.preferential_attachment rng ~n ~m0)
 
 let k_tree rng ~k ~n =
   if k < 1 || n < k + 1 then invalid_arg "Generators.k_tree";

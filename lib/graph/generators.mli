@@ -6,7 +6,28 @@
     diameter-2 network), blown-up cliques with known dense minors (the
     [δ = Θ(√genus)] family of Corollary 1.4), and general-graph controls
     (Erdős–Rényi, random trees, lollipops). The Lemma 3.2 lower-bound
-    topology lives in {!Lower_bound_graph}. *)
+    topology lives in {!Lower_bound_graph}.
+
+    The big families (grid, random tree, preferential attachment) are
+    built by streaming: the {!Stream} emitters produce edges one at a
+    time into a Bigarray-backed builder, so nothing proportional to [m]
+    ever lands on the OCaml heap and a 10^7-node instance is routine. *)
+
+(** Edge emitters. [Stream.family args f] calls [f u v] exactly once per
+    edge, in a fixed order; for the randomized families the RNG draw
+    sequence is fixed too, so streaming a family and building it eagerly
+    from the same seed yield identical graphs. *)
+module Stream : sig
+  val grid : rows:int -> cols:int -> (int -> int -> unit) -> unit
+
+  val random_tree : Lcs_util.Rng.t -> n:int -> (int -> int -> unit) -> unit
+
+  val preferential_attachment :
+    Lcs_util.Rng.t -> n:int -> m0:int -> (int -> int -> unit) -> unit
+  (** Barabási–Albert: seed clique [K_{m0+1}], then each new vertex
+      attaches to [m0] distinct existing vertices sampled proportionally
+      to degree (endpoint-pool method). Requires [n >= m0 + 1 >= 2]. *)
+end
 
 val path : int -> Graph.t
 (** [path n]: vertices [0..n-1], edges [i -- i+1]. *)
@@ -39,6 +60,11 @@ val binary_tree : depth:int -> Graph.t
 val random_tree : Lcs_util.Rng.t -> n:int -> Graph.t
 (** Uniform-attachment recursive tree: vertex [v >= 1] attaches to a uniform
     vertex in [0..v-1]. *)
+
+val preferential_attachment : Lcs_util.Rng.t -> n:int -> m0:int -> Graph.t
+(** Eager {!Stream.preferential_attachment}: a scale-free control family
+    with heavy-tailed degrees — the stress case for sorted-row binary
+    search and for per-degree inbox sizing. [m = m0(m0+1)/2 + (n-m0-1)m0]. *)
 
 val k_tree : Lcs_util.Rng.t -> k:int -> n:int -> Graph.t
 (** Random k-tree: start from [K_{k+1}], repeatedly attach a new vertex to

@@ -1,113 +1,274 @@
+(* Storage is a flat CSR over Bigarray payloads (Lcs_util.Intvec): the
+   row-offset array indexes parallel neighbor/edge-id columns, and edge
+   endpoints live in two more flat arrays. Nothing per-vertex or per-edge
+   is boxed, so a 10M-node / 100M-edge graph costs the OCaml heap a
+   handful of words and the GC never scans the payload. Rows are sorted
+   by neighbor id at build time, which makes find_edge/mem_edge a binary
+   search; port numbering (the index into a vertex's row) therefore
+   follows neighbor order, not edge-insertion order — consistently so for
+   every accessor, which is all the CONGEST machinery requires. *)
+
+module Intvec = Lcs_util.Intvec
+
 type t = {
   n : int;
-  adj : (int * int) array array;  (* (neighbor, edge_id), insertion order *)
-  ends : (int * int) array;       (* edge_id -> (u, v) with u < v *)
+  m : int;
+  row_off : Intvec.t;   (* length n+1; prefix sums of degrees *)
+  col_nbr : Intvec.t;   (* length 2m; rows sorted ascending by neighbor *)
+  col_edge : Intvec.t;  (* length 2m; edge id per slot *)
+  ends_u : Intvec.t;    (* length m; canonical endpoints, u < v *)
+  ends_v : Intvec.t;
 }
 
-let canonical u v = if u < v then (u, v) else (v, u)
+type row = { rt : t; off : int; deg : int }
+
+(* --- construction ------------------------------------------------------ *)
+
+(* Core build: [us]/[vs] hold canonical (u < v), in-range, loop-free
+   endpoints in edge-id order; duplicates are detected after the
+   neighbor-sort (equal adjacent slots in a row) and reported with the
+   caller's error prefix. O(m log maxdeg) time, O(n + m) off-heap space. *)
+let of_endpoints ~what ~n us vs =
+  let m = Intvec.length us in
+  if Intvec.length vs <> m then invalid_arg (what ^ ": endpoint array lengths");
+  let row_off = Intvec.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    let u = Intvec.unsafe_get us e and v = Intvec.unsafe_get vs e in
+    Intvec.unsafe_set row_off (u + 1) (Intvec.unsafe_get row_off (u + 1) + 1);
+    Intvec.unsafe_set row_off (v + 1) (Intvec.unsafe_get row_off (v + 1) + 1)
+  done;
+  for v = 1 to n do
+    Intvec.unsafe_set row_off v
+      (Intvec.unsafe_get row_off v + Intvec.unsafe_get row_off (v - 1))
+  done;
+  let total = Intvec.get row_off n in
+  let col_nbr = Intvec.make total 0 in
+  let col_edge = Intvec.make total 0 in
+  let cursor = Intvec.make n 0 in
+  for e = 0 to m - 1 do
+    let u = Intvec.unsafe_get us e and v = Intvec.unsafe_get vs e in
+    let su = Intvec.unsafe_get row_off u + Intvec.unsafe_get cursor u in
+    Intvec.unsafe_set cursor u (Intvec.unsafe_get cursor u + 1);
+    Intvec.unsafe_set col_nbr su v;
+    Intvec.unsafe_set col_edge su e;
+    let sv = Intvec.unsafe_get row_off v + Intvec.unsafe_get cursor v in
+    Intvec.unsafe_set cursor v (Intvec.unsafe_get cursor v + 1);
+    Intvec.unsafe_set col_nbr sv u;
+    Intvec.unsafe_set col_edge sv e
+  done;
+  for v = 0 to n - 1 do
+    let off = Intvec.unsafe_get row_off v in
+    let deg = Intvec.unsafe_get row_off (v + 1) - off in
+    Intvec.sort2 col_nbr col_edge ~pos:off ~len:deg;
+    for s = off + 1 to off + deg - 1 do
+      if Intvec.unsafe_get col_nbr s = Intvec.unsafe_get col_nbr (s - 1) then
+        invalid_arg (what ^ ": duplicate edge")
+    done
+  done;
+  { n; m; row_off; col_nbr; col_edge; ends_u = us; ends_v = vs }
 
 let create ~n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative n";
-  let seen = Hashtbl.create (2 * List.length edge_list) in
-  let ends =
-    Array.of_list
-      (List.map
-         (fun (u, v) ->
-           if u < 0 || u >= n || v < 0 || v >= n then
-             invalid_arg "Graph.create: endpoint out of range";
-           if u = v then invalid_arg "Graph.create: self-loop";
-           let key = canonical u v in
-           if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
-           Hashtbl.add seen key ();
-           key)
-         edge_list)
-  in
-  let deg = Array.make n 0 in
-  Array.iter
+  let us = Intvec.create () and vs = Intvec.create () in
+  List.iter
     (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    ends;
-  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
-  let cursor = Array.make n 0 in
-  Array.iteri
-    (fun e (u, v) ->
-      adj.(u).(cursor.(u)) <- (v, e);
-      cursor.(u) <- cursor.(u) + 1;
-      adj.(v).(cursor.(v)) <- (u, e);
-      cursor.(v) <- cursor.(v) + 1)
-    ends;
-  { n; adj; ends }
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: endpoint out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      let u, v = if u < v then (u, v) else (v, u) in
+      Intvec.push us u;
+      Intvec.push vs v)
+    edge_list;
+  of_endpoints ~what:"Graph.create" ~n (Intvec.freeze us) (Intvec.freeze vs)
+
+let of_csr_unchecked ~n ~m ~row_off ~col_nbr ~col_edge ~ends_u ~ends_v =
+  { n; m; row_off; col_nbr; col_edge; ends_u; ends_v }
+
+let validate g =
+  let fail msg = invalid_arg ("Graph.validate: " ^ msg) in
+  if g.n < 0 || g.m < 0 then fail "negative size";
+  if Intvec.length g.row_off <> g.n + 1 then fail "row_off length";
+  if Intvec.length g.col_nbr <> 2 * g.m || Intvec.length g.col_edge <> 2 * g.m
+  then fail "column length";
+  if Intvec.length g.ends_u <> g.m || Intvec.length g.ends_v <> g.m then
+    fail "endpoint length";
+  if g.n > 0 || g.m > 0 then begin
+    if Intvec.get g.row_off 0 <> 0 then fail "row_off origin";
+    if Intvec.get g.row_off g.n <> 2 * g.m then fail "row_off total";
+    for v = 0 to g.n - 1 do
+      if Intvec.unsafe_get g.row_off (v + 1) < Intvec.unsafe_get g.row_off v
+      then fail "row_off not monotone"
+    done
+  end;
+  for e = 0 to g.m - 1 do
+    let u = Intvec.unsafe_get g.ends_u e and v = Intvec.unsafe_get g.ends_v e in
+    if u < 0 || v >= g.n || u >= v then fail "endpoints not canonical"
+  done;
+  let slots_seen = Intvec.make g.m 0 in
+  for v = 0 to g.n - 1 do
+    let off = Intvec.unsafe_get g.row_off v in
+    let stop = Intvec.unsafe_get g.row_off (v + 1) in
+    for s = off to stop - 1 do
+      let w = Intvec.unsafe_get g.col_nbr s in
+      let e = Intvec.unsafe_get g.col_edge s in
+      if e < 0 || e >= g.m then fail "edge id out of range";
+      if s > off && Intvec.unsafe_get g.col_nbr (s - 1) >= w then
+        fail "row not sorted";
+      let eu = Intvec.unsafe_get g.ends_u e
+      and ev = Intvec.unsafe_get g.ends_v e in
+      if not ((v = eu && w = ev) || (v = ev && w = eu)) then
+        fail "slot disagrees with endpoints";
+      Intvec.unsafe_set slots_seen e (Intvec.unsafe_get slots_seen e + 1)
+    done
+  done;
+  for e = 0 to g.m - 1 do
+    if Intvec.unsafe_get slots_seen e <> 2 then fail "edge slot count"
+  done
+
+(* --- accessors --------------------------------------------------------- *)
 
 let n g = g.n
-let m g = Array.length g.ends
-let degree g v = Array.length g.adj.(v)
+let m g = g.m
+
+let degree g v = Intvec.get g.row_off (v + 1) - Intvec.get g.row_off v
 
 let max_degree g =
-  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 g.adj
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    let d = Intvec.unsafe_get g.row_off (v + 1) - Intvec.unsafe_get g.row_off v in
+    if d > !best then best := d
+  done;
+  !best
 
-let density g = if g.n = 0 then 0. else float_of_int (m g) /. float_of_int g.n
+let density g = if g.n = 0 then 0. else float_of_int g.m /. float_of_int g.n
 
-let iter_adj g v f = Array.iter (fun (w, e) -> f w e) g.adj.(v)
+let iter_adj g v f =
+  let off = Intvec.get g.row_off v in
+  let stop = Intvec.get g.row_off (v + 1) in
+  for s = off to stop - 1 do
+    f (Intvec.unsafe_get g.col_nbr s) (Intvec.unsafe_get g.col_edge s)
+  done
 
 let fold_adj g v f init =
-  Array.fold_left (fun acc (w, e) -> f acc w e) init g.adj.(v)
+  let off = Intvec.get g.row_off v in
+  let stop = Intvec.get g.row_off (v + 1) in
+  let acc = ref init in
+  for s = off to stop - 1 do
+    acc := f !acc (Intvec.unsafe_get g.col_nbr s) (Intvec.unsafe_get g.col_edge s)
+  done;
+  !acc
 
-let adj_list g v = Array.to_list g.adj.(v)
-let ports g v = g.adj.(v)
-let edge_endpoints g e = g.ends.(e)
+let adj_list g v =
+  fold_adj g v (fun acc w e -> (w, e) :: acc) [] |> List.rev
+
+let ports g v =
+  let off = Intvec.get g.row_off v in
+  { rt = g; off; deg = Intvec.get g.row_off (v + 1) - off }
+
+module Row = struct
+  type t = row
+
+  let length r = r.deg
+
+  let neighbor r p =
+    if p < 0 || p >= r.deg then invalid_arg "Graph.Row.neighbor: bad port";
+    Intvec.unsafe_get r.rt.col_nbr (r.off + p)
+
+  let edge r p =
+    if p < 0 || p >= r.deg then invalid_arg "Graph.Row.edge: bad port";
+    Intvec.unsafe_get r.rt.col_edge (r.off + p)
+
+  let pair r p = (neighbor r p, edge r p)
+
+  let iteri r f =
+    for p = 0 to r.deg - 1 do
+      f p
+        (Intvec.unsafe_get r.rt.col_nbr (r.off + p))
+        (Intvec.unsafe_get r.rt.col_edge (r.off + p))
+    done
+end
+
+let edge_endpoints g e = (Intvec.get g.ends_u e, Intvec.get g.ends_v e)
 
 let other_endpoint g ~edge v =
-  let u, w = g.ends.(edge) in
+  let u = Intvec.get g.ends_u edge and w = Intvec.get g.ends_v edge in
   if v = u then w
   else if v = w then u
   else invalid_arg "Graph.other_endpoint: vertex not on edge"
 
-exception Found of int
-
 let find_edge g u v =
   if u = v || u < 0 || u >= g.n || v < 0 || v >= g.n then None
   else
+    (* Binary-search the sorted row of the lower-degree endpoint. *)
     let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
-    try
-      Array.iter (fun (w, e) -> if w = b then raise_notrace (Found e)) g.adj.(a);
-      None
-    with Found e -> Some e
+    let lo = ref (Intvec.get g.row_off a)
+    and hi = ref (Intvec.get g.row_off (a + 1)) in
+    let found = ref (-1) in
+    while !found < 0 && !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      let w = Intvec.unsafe_get g.col_nbr mid in
+      if w = b then found := Intvec.unsafe_get g.col_edge mid
+      else if w < b then lo := mid + 1
+      else hi := mid
+    done;
+    if !found < 0 then None else Some !found
 
 let mem_edge g u v = find_edge g u v <> None
 
-let iter_edges g f = Array.iteri (fun e (u, v) -> f e u v) g.ends
-let edges g = Array.copy g.ends
+let iter_edges g f =
+  for e = 0 to g.m - 1 do
+    f e (Intvec.unsafe_get g.ends_u e) (Intvec.unsafe_get g.ends_v e)
+  done
+
+let edges g =
+  Array.init g.m (fun e -> (Intvec.unsafe_get g.ends_u e, Intvec.unsafe_get g.ends_v e))
+
 let vertices g = Array.init g.n (fun i -> i)
 
+(* --- raw CSR views (read-only) ----------------------------------------- *)
+
+let csr_offsets g = g.row_off
+let csr_neighbors g = g.col_nbr
+let csr_edges g = g.col_edge
+let csr_endpoints g = (g.ends_u, g.ends_v)
+
+(* --- derived graphs ---------------------------------------------------- *)
+
 let subgraph g ~vertex_keep ~edge_keep =
-  let new_of_old = Array.make g.n (-1) in
-  let old_vertices = ref [] in
+  let new_of_old = Intvec.make g.n (-1) in
   let count = ref 0 in
   for v = 0 to g.n - 1 do
     if vertex_keep v then begin
-      new_of_old.(v) <- !count;
-      old_vertices := v :: !old_vertices;
+      Intvec.unsafe_set new_of_old v !count;
       incr count
     end
   done;
-  let old_of_new_vertex = Array.of_list (List.rev !old_vertices) in
-  let kept_edges = ref [] in
-  Array.iteri
-    (fun e (u, v) ->
-      if edge_keep e && new_of_old.(u) >= 0 && new_of_old.(v) >= 0 then
-        kept_edges := e :: !kept_edges)
-    g.ends;
-  let old_of_new_edge = Array.of_list (List.rev !kept_edges) in
-  let edge_list =
-    Array.to_list
-      (Array.map
-         (fun e ->
-           let u, v = g.ends.(e) in
-           (new_of_old.(u), new_of_old.(v)))
-         old_of_new_edge)
+  let old_of_new_vertex = Array.make !count 0 in
+  let next = ref 0 in
+  for v = 0 to g.n - 1 do
+    if Intvec.unsafe_get new_of_old v >= 0 then begin
+      old_of_new_vertex.(!next) <- v;
+      incr next
+    end
+  done;
+  let us = Intvec.create () and vs = Intvec.create () in
+  let kept = Intvec.create () in
+  for e = 0 to g.m - 1 do
+    let u = Intvec.unsafe_get g.ends_u e and v = Intvec.unsafe_get g.ends_v e in
+    let nu = Intvec.unsafe_get new_of_old u
+    and nv = Intvec.unsafe_get new_of_old v in
+    if nu >= 0 && nv >= 0 && edge_keep e then begin
+      let nu, nv = if nu < nv then (nu, nv) else (nv, nu) in
+      Intvec.push us nu;
+      Intvec.push vs nv;
+      Intvec.push kept e
+    end
+  done;
+  let h =
+    of_endpoints ~what:"Graph.subgraph" ~n:!count (Intvec.freeze us)
+      (Intvec.freeze vs)
   in
-  (create ~n:!count edge_list, old_of_new_vertex, old_of_new_edge)
+  (h, old_of_new_vertex, Intvec.to_array kept)
 
 let pp ppf g =
   Format.fprintf ppf "graph(n=%d, m=%d, maxdeg=%d)" g.n (m g) (max_degree g)

@@ -4,14 +4,52 @@
     canonical endpoints [(u, v)] with [u < v]. Edge ids are the currency of
     the whole repository: shortcut congestion counts how many parts use each
     edge id, trees store parent-edge ids, and the CONGEST simulator enforces
-    bandwidth per edge id. Self-loops and parallel edges are rejected. *)
+    bandwidth per edge id. Self-loops and parallel edges are rejected.
+
+    Storage is flat CSR on Bigarray payloads ({!Lcs_util.Intvec}): the GC
+    neither scans nor copies the adjacency, so graphs with 10^7 vertices and
+    10^8 edges fit without heap pressure. Adjacency rows are sorted by
+    neighbor id, so a vertex's ports (indices into its row) enumerate
+    neighbors in ascending order — {e not} edge-insertion order — and
+    {!find_edge}/{!mem_edge} are O(log deg). *)
 
 type t
+
+type row
+(** A lightweight view of one vertex's adjacency row — three immediate
+    fields over the graph's own storage, no materialized tuple array. *)
 
 val create : n:int -> (int * int) list -> t
 (** [create ~n edges] builds a graph on vertices [0..n-1]. Edge ids are
     assigned in list order. Raises [Invalid_argument] on out-of-range
     endpoints, self-loops, or duplicate edges (in either orientation). *)
+
+val of_endpoints : what:string -> n:int -> Lcs_util.Intvec.t -> Lcs_util.Intvec.t -> t
+(** [of_endpoints ~what ~n us vs] builds the graph whose edge [e] has
+    canonical endpoints [(us.(e), vs.(e))]. The arrays must already hold
+    in-range, loop-free endpoints with [us.(e) < vs.(e)]; ownership
+    transfers to the graph (freeze or copy before passing if the caller
+    keeps mutating). Duplicate edges raise [Invalid_argument] with [what]
+    as the message prefix. This is the streaming build path: no boxed edge
+    list exists at any point. *)
+
+val of_csr_unchecked :
+  n:int ->
+  m:int ->
+  row_off:Lcs_util.Intvec.t ->
+  col_nbr:Lcs_util.Intvec.t ->
+  col_edge:Lcs_util.Intvec.t ->
+  ends_u:Lcs_util.Intvec.t ->
+  ends_v:Lcs_util.Intvec.t ->
+  t
+(** Adopt pre-built CSR sections verbatim — the zero-copy entry point used
+    by {!Graph_io.read_binary} over [mmap]ed file sections. No invariant is
+    checked; call {!validate} when the source is untrusted. *)
+
+val validate : t -> unit
+(** Full O(n + m) structural check of the CSR invariants (offset monotony,
+    sorted rows, slot/endpoint agreement, every edge in exactly two rows).
+    Raises [Invalid_argument] on the first violation. *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -28,18 +66,37 @@ val density : t -> float
 
 val iter_adj : t -> int -> (int -> int -> unit) -> unit
 (** [iter_adj g v f] calls [f neighbor edge_id] for every edge incident to
-    [v], in edge-insertion order. *)
+    [v], in ascending neighbor order (= port order). *)
 
 val fold_adj : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
 
 val adj_list : t -> int -> (int * int) list
-(** [(neighbor, edge_id)] pairs of [v]. Fresh list. *)
+(** [(neighbor, edge_id)] pairs of [v], ascending by neighbor. Fresh
+    list. *)
 
-val ports : t -> int -> (int * int) array
-(** The raw adjacency row of [v]: [(neighbor, edge_id)] in port
-    (edge-insertion) order. O(1) and allocation-free — this is the graph's
-    own storage, so callers must treat it as read-only. Prefer this over
-    {!adj_list} on hot paths. *)
+val ports : t -> int -> row
+(** The adjacency row of [v] as an O(1) view over the graph's own CSR
+    storage; port [p] of [v] is entry [p] of this row, in ascending
+    neighbor order. Access through {!Row}. *)
+
+module Row : sig
+  type t = row
+
+  val length : t -> int
+  (** The vertex's degree. *)
+
+  val neighbor : t -> int -> int
+  (** [neighbor row p]: the neighbor behind port [p]. *)
+
+  val edge : t -> int -> int
+  (** [edge row p]: the edge id behind port [p]. *)
+
+  val pair : t -> int -> int * int
+  (** [(neighbor, edge)] at a port. Allocates the pair. *)
+
+  val iteri : t -> (int -> int -> int -> unit) -> unit
+  (** [iteri row f] calls [f port neighbor edge_id] over the row. *)
+end
 
 val edge_endpoints : t -> int -> int * int
 (** Canonical endpoints [(u, v)], [u < v]. *)
@@ -49,7 +106,8 @@ val other_endpoint : t -> edge:int -> int -> int
     [Invalid_argument] if the vertex is not an endpoint. *)
 
 val find_edge : t -> int -> int -> int option
-(** Edge id between two vertices, if present. O(min degree). *)
+(** Edge id between two vertices, if present. Binary search over the
+    sorted row of the lower-degree endpoint: O(log min-degree). *)
 
 val mem_edge : t -> int -> int -> bool
 
@@ -61,6 +119,22 @@ val edges : t -> (int * int) array
 
 val vertices : t -> int array
 (** [0..n-1]. Fresh array. *)
+
+val csr_offsets : t -> Lcs_util.Intvec.t
+(** The raw CSR row-offset array (length [n+1]): port [p] of vertex [v]
+    lives at flat slot [offsets.(v) + p]. This is the graph's own storage,
+    shared with {!csr_neighbors}/{!csr_edges} — strictly read-only. The
+    simulator cores build their port planes directly on these views. *)
+
+val csr_neighbors : t -> Lcs_util.Intvec.t
+(** Flat neighbor column (length [2m]), rows sorted ascending. Read-only. *)
+
+val csr_edges : t -> Lcs_util.Intvec.t
+(** Flat edge-id column (length [2m]). Read-only. *)
+
+val csr_endpoints : t -> Lcs_util.Intvec.t * Lcs_util.Intvec.t
+(** The canonical endpoint arrays [(ends_u, ends_v)], length [m].
+    Read-only. *)
 
 val subgraph : t -> vertex_keep:(int -> bool) -> edge_keep:(int -> bool) -> t * int array * int array
 (** [subgraph g ~vertex_keep ~edge_keep] is the graph on the kept vertices

@@ -1,28 +1,282 @@
+module Intvec = Lcs_util.Intvec
+
+(* --- plain text edge lists --------------------------------------------- *)
+
 let to_edge_list g =
   let buf = Buffer.create (16 * Graph.m g) in
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
   Graph.iter_edges g (fun _e u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
-let of_edge_list text =
-  let lines =
-    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+let to_channel oc g =
+  Printf.fprintf oc "%d %d\n" (Graph.n g) (Graph.m g);
+  Graph.iter_edges g (fun _e u v -> Printf.fprintf oc "%d %d\n" u v)
+
+let fail_line what line msg =
+  invalid_arg (Printf.sprintf "%s: line %d: %s" what line msg)
+
+let is_sep c = c = ' ' || c = '\t' || c = '\r'
+
+let is_blank s start stop =
+  let rec go i = i >= stop || (is_sep s.[i] && go (i + 1)) in
+  go start
+
+(* Two integers out of s.[start..stop), separated by runs of spaces/tabs
+   (and tolerating a trailing \r from CRLF files), with nothing else on
+   the line. No substring is allocated. *)
+let parse_pair ~what s start stop line =
+  let i = ref start in
+  let skip_sep () =
+    while !i < stop && is_sep s.[!i] do
+      incr i
+    done
   in
-  match lines with
-  | [] -> invalid_arg "Graph_io.of_edge_list: empty input"
-  | header :: rest ->
-      let parse_pair line =
-        match String.split_on_char ' ' (String.trim line) with
-        | [ a; b ] -> (
-            match (int_of_string_opt a, int_of_string_opt b) with
-            | Some a, Some b -> (a, b)
-            | _ -> invalid_arg "Graph_io.of_edge_list: bad line")
-        | _ -> invalid_arg "Graph_io.of_edge_list: bad line"
+  let parse_int () =
+    let sign = if !i < stop && s.[!i] = '-' then ( incr i; -1 ) else 1 in
+    if !i >= stop || s.[!i] < '0' || s.[!i] > '9' then
+      fail_line what line "expected an integer";
+    let v = ref 0 in
+    while !i < stop && s.[!i] >= '0' && s.[!i] <= '9' do
+      v := (!v * 10) + (Char.code s.[!i] - Char.code '0');
+      incr i
+    done;
+    sign * !v
+  in
+  skip_sep ();
+  let a = parse_int () in
+  skip_sep ();
+  let b = parse_int () in
+  skip_sep ();
+  if !i <> stop then fail_line what line "trailing characters after the two fields";
+  (a, b)
+
+(* One streaming pass over a line source: header, then exactly [m] edge
+   lines (blank lines skipped), every diagnostic carrying its 1-based line
+   number. Endpoints go straight into flat vectors — no list of the input
+   ever exists. *)
+let parse_lines ~what next_line =
+  let line_no = ref 0 in
+  let rec next_nonblank () =
+    match next_line () with
+    | None -> None
+    | Some (s, start, stop) ->
+        incr line_no;
+        if is_blank s start stop then next_nonblank ()
+        else Some (s, start, stop, !line_no)
+  in
+  match next_nonblank () with
+  | None -> invalid_arg (what ^ ": empty input")
+  | Some (s, start, stop, header_line) ->
+      let n, m = parse_pair ~what s start stop header_line in
+      if n < 0 then fail_line what header_line "negative vertex count";
+      if m < 0 then fail_line what header_line "negative edge count";
+      let us = Intvec.create ~capacity:(max 16 m) ()
+      and vs = Intvec.create ~capacity:(max 16 m) () in
+      let count = ref 0 in
+      let rec loop () =
+        match next_nonblank () with
+        | None -> ()
+        | Some (s, start, stop, line) ->
+            if !count >= m then
+              fail_line what line
+                (Printf.sprintf "edge %d but the header declares only %d"
+                   (!count + 1) m);
+            let u, v = parse_pair ~what s start stop line in
+            if u < 0 || u >= n || v < 0 || v >= n then
+              fail_line what line "endpoint out of range";
+            if u = v then fail_line what line "self-loop";
+            let u, v = if u < v then (u, v) else (v, u) in
+            Intvec.push us u;
+            Intvec.push vs v;
+            incr count;
+            loop ()
       in
-      let n, m = parse_pair header in
-      let edges = List.map parse_pair rest in
-      if List.length edges <> m then invalid_arg "Graph_io.of_edge_list: edge count";
-      Graph.create ~n edges
+      loop ();
+      if !count <> m then
+        invalid_arg
+          (Printf.sprintf "%s: edge count: header declares %d, found %d" what m
+             !count);
+      Graph.of_endpoints ~what ~n (Intvec.freeze us) (Intvec.freeze vs)
+
+let of_edge_list text =
+  let len = String.length text in
+  let pos = ref 0 in
+  parse_lines ~what:"Graph_io.of_edge_list" (fun () ->
+      if !pos >= len then None
+      else begin
+        let start = !pos in
+        let stop =
+          match String.index_from_opt text start '\n' with
+          | Some nl -> nl
+          | None -> len
+        in
+        pos := stop + 1;
+        Some (text, start, stop)
+      end)
+
+let of_channel ic =
+  parse_lines ~what:"Graph_io.of_channel" (fun () ->
+      match input_line ic with
+      | s -> Some (s, 0, String.length s)
+      | exception End_of_file -> None)
+
+(* --- whole files ------------------------------------------------------- *)
+
+(* Binary mode everywhere: a binary graph (or a text one with pinned line
+   endings) must survive round-trips on every platform. *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- binary graphs (schema lcs-graph-bin/1) ---------------------------- *)
+
+(* Layout, all words little-endian int64:
+
+     word 0        magic "lcsgrb1\n" (the schema tag, lcs-graph-bin/1)
+     word 1        n
+     word 2        m
+     words 3..     row_off   (n+1 words)
+                   col_nbr   (2m words)
+                   col_edge  (2m words)
+                   ends_u    (m words)
+                   ends_v    (m words)
+
+   The payload sections are exactly the CSR arrays of Graph.t, so on a
+   64-bit little-endian platform Unix.map_file hands back graph storage
+   directly: read_binary is O(1) copying — five Array1.sub views into one
+   mapping. Every value fits in 62 bits (OCaml int), including the magic,
+   whose most significant byte is '\n' = 0x0a. *)
+
+let magic = "lcsgrb1\n"
+
+let magic_int =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code magic.[i]
+  done;
+  !v
+
+let header_words = 3
+
+let file_words ~n ~m = header_words + (n + 1) + (6 * m)
+
+let write_binary path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65_536 in
+      let flush_if_full () =
+        if Buffer.length buf >= 61_440 then begin
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf
+        end
+      in
+      let word x = Buffer.add_int64_le buf (Int64.of_int x) in
+      Buffer.add_string buf magic;
+      word (Graph.n g);
+      word (Graph.m g);
+      let section vec =
+        Intvec.iter
+          (fun x ->
+            word x;
+            flush_if_full ())
+          vec
+      in
+      section (Graph.csr_offsets g);
+      section (Graph.csr_neighbors g);
+      section (Graph.csr_edges g);
+      let ends_u, ends_v = Graph.csr_endpoints g in
+      section ends_u;
+      section ends_v;
+      Buffer.output_buffer oc buf)
+
+let bad_binary path msg =
+  invalid_arg (Printf.sprintf "Graph_io.read_binary: %s: %s" path msg)
+
+(* Section splitter shared by both read paths: [words] is the whole file
+   as one int vector (mapped or decoded); returns the graph wrapping five
+   O(1) sub-views of it. *)
+let graph_of_words path words =
+  if Intvec.length words < header_words then bad_binary path "truncated header";
+  if Intvec.get words 0 <> magic_int then
+    bad_binary path "bad magic (not an lcs-graph-bin/1 file)";
+  let n = Intvec.get words 1 and m = Intvec.get words 2 in
+  if n < 0 || m < 0 then bad_binary path "negative size in header";
+  if Intvec.length words <> file_words ~n ~m then
+    bad_binary path
+      (Printf.sprintf "size mismatch: header says n=%d m=%d (%d words), file has %d"
+         n m (file_words ~n ~m) (Intvec.length words));
+  let pos = ref header_words in
+  let section len =
+    let v = Intvec.sub_view words ~pos:!pos ~len in
+    pos := !pos + len;
+    v
+  in
+  let row_off = section (n + 1) in
+  let col_nbr = section (2 * m) in
+  let col_edge = section (2 * m) in
+  let ends_u = section m in
+  let ends_v = section m in
+  Graph.of_csr_unchecked ~n ~m ~row_off ~col_nbr ~col_edge ~ends_u ~ends_v
+
+let read_binary_mmap path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size mod 8 <> 0 then bad_binary path "size is not a whole number of words";
+      (* A private (copy-on-write) mapping: the file can never be mutated
+         through the graph, and the mapping outlives the fd, which closes
+         right here. *)
+      let arr =
+        Unix.map_file fd Bigarray.int Bigarray.c_layout false [| size / 8 |]
+      in
+      graph_of_words path (Intvec.of_bigarray (Bigarray.array1_of_genarray arr)))
+
+let read_binary_stream path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      if size mod 8 <> 0 then bad_binary path "size is not a whole number of words";
+      let total = size / 8 in
+      let words = Intvec.make total 0 in
+      let chunk = Bytes.create 65_536 in
+      let filled = ref 0 in
+      while !filled < total do
+        let want = min (Bytes.length chunk / 8) (total - !filled) in
+        really_input ic chunk 0 (8 * want);
+        for i = 0 to want - 1 do
+          Intvec.unsafe_set words (!filled + i)
+            (Int64.to_int (Bytes.get_int64_le chunk (8 * i)))
+        done;
+        filled := !filled + want
+      done;
+      graph_of_words path words)
+
+let read_binary ?(mmap = true) ?(validate = false) path =
+  let g =
+    (* The mapped sections are byte images of little-endian int64s; on a
+       big-endian host fall back to the decoding read. *)
+    if mmap && not Sys.big_endian then read_binary_mmap path
+    else read_binary_stream path
+  in
+  if validate then Graph.validate g;
+  g
+
+(* --- Graphviz ---------------------------------------------------------- *)
 
 let palette =
   [| "lightblue"; "lightsalmon"; "palegreen"; "plum"; "khaki"; "lightcyan";
@@ -50,9 +304,3 @@ let to_dot_with_edge_style ?partition g ~style_of_edge =
 
 let to_dot ?partition g =
   to_dot_with_edge_style ?partition g ~style_of_edge:(fun _ -> None)
-
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)

@@ -4,7 +4,7 @@ type t = {
   parts : int array array;
 }
 
-let validate host part_of parts =
+let check_parts host part_of parts =
   Array.iteri
     (fun i members ->
       if Array.length members = 0 then
@@ -14,7 +14,7 @@ let validate host part_of parts =
     parts;
   ignore part_of
 
-let of_assignment host part_of =
+let of_assignment ?(validate = true) host part_of =
   let n = Graph.n host in
   if Array.length part_of <> n then invalid_arg "Partition.of_assignment: length";
   let k = Array.fold_left (fun acc p -> max acc (p + 1)) 0 part_of in
@@ -34,7 +34,7 @@ let of_assignment host part_of =
     end
   done;
   let t = { host; part_of = Array.copy part_of; parts } in
-  validate host part_of parts;
+  if validate then check_parts host part_of parts;
   t
 
 let of_parts host lists =
@@ -118,9 +118,9 @@ let random_blobs host rng ~target_size =
 let singletons host = of_assignment host (Array.init (Graph.n host) (fun v -> v))
 let whole host = of_assignment host (Array.make (Graph.n host) 0)
 
-let grid_rows host ~rows ~cols =
+let grid_rows ?validate host ~rows ~cols =
   if Graph.n host <> rows * cols then invalid_arg "Partition.grid_rows: dimensions";
-  of_assignment host (Array.init (rows * cols) (fun v -> v / cols))
+  of_assignment ?validate host (Array.init (rows * cols) (fun v -> v / cols))
 
 let pp ppf t =
   Format.fprintf ppf "partition(k=%d over %a)" (k t) Graph.pp t.host

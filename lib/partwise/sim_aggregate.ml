@@ -55,7 +55,8 @@ let setup ?budget rng shortcut ~values =
   let port_of_edge =
     Array.init n (fun v ->
         let tbl = Hashtbl.create 8 in
-        Array.iteri (fun port (_w, e) -> Hashtbl.replace tbl e port) (Graph.ports host v);
+        Graph.Row.iteri (Graph.ports host v) (fun port _w e ->
+            Hashtbl.replace tbl e port);
         tbl)
   in
   let part_ports : (int, int list) Hashtbl.t array =

@@ -220,7 +220,7 @@ let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ~var
           let port = info.Tree_info.nodes.(v).Tree_info.parent_port in
           if port >= 0 then begin
             let adj = Graph.ports host v in
-            Bitset.add over (snd adj.(port))
+            Bitset.add over (Graph.Row.edge adj port)
           end
         end)
       states

@@ -485,9 +485,135 @@ let graph_io_dot () =
     (String.split_on_char '\n' dot
     |> List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "  0 "))
 
+(* Full structural identity: counts, canonical endpoints, and every
+   adjacency row (order included — rows are sorted by neighbor). *)
+let graphs_identical g1 g2 =
+  Graph.n g1 = Graph.n g2
+  && Graph.m g1 = Graph.m g2
+  && Graph.edges g1 = Graph.edges g2
+  && List.for_all
+       (fun v -> Graph.adj_list g1 v = Graph.adj_list g2 v)
+       (List.init (Graph.n g1) Fun.id)
+
+let with_temp_bin f =
+  let path = Filename.temp_file "lcs_test_graph" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let graph_io_binary_roundtrip =
+  QCheck.Test.make ~name:"binary round-trips (mmap and stream)" ~count:20
+    QCheck.(pair (int_bound 1000) (int_range 2 40))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      with_temp_bin (fun path ->
+          Graph_io.write_binary path g;
+          let mmapped = Graph_io.read_binary ~validate:true path in
+          let streamed = Graph_io.read_binary ~mmap:false ~validate:true path in
+          graphs_identical g mmapped && graphs_identical g streamed))
+
+(* The mmap'd graph must be indistinguishable from the heap-loaded one on
+   every accessor, not just the counts the round-trip property covers. *)
+let graph_io_mmap_matches_heap () =
+  let g = random_connected_graph 42 ~n:60 ~extra:80 in
+  with_temp_bin (fun path ->
+      Graph_io.write_binary path g;
+      let m = Graph_io.read_binary ~mmap:true path in
+      let h = Graph_io.read_binary ~mmap:false path in
+      check Alcotest.int "n" (Graph.n h) (Graph.n m);
+      check Alcotest.int "m" (Graph.m h) (Graph.m m);
+      check Alcotest.int "max degree" (Graph.max_degree h) (Graph.max_degree m);
+      for v = 0 to Graph.n h - 1 do
+        check Alcotest.int "degree" (Graph.degree h v) (Graph.degree m v);
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+          "adj" (Graph.adj_list h v) (Graph.adj_list m v);
+        let rh = Graph.ports h v and rm = Graph.ports m v in
+        check Alcotest.int "row length" (Graph.Row.length rh) (Graph.Row.length rm);
+        for p = 0 to Graph.Row.length rh - 1 do
+          check
+            (Alcotest.pair Alcotest.int Alcotest.int)
+            "row pair" (Graph.Row.pair rh p) (Graph.Row.pair rm p)
+        done
+      done;
+      Array.iteri
+        (fun e (u, v) ->
+          check
+            (Alcotest.pair Alcotest.int Alcotest.int)
+            "endpoints" (u, v) (Graph.edge_endpoints m e);
+          check (Alcotest.option Alcotest.int) "find_edge" (Some e)
+            (Graph.find_edge m u v);
+          check (Alcotest.option Alcotest.int) "find_edge flipped" (Some e)
+            (Graph.find_edge m v u))
+        (Graph.edges h))
+
+(* Streaming a family through its Stream emitter and building it eagerly
+   from the same seed must give the same graph — the emitters are the
+   eager constructors' substrate, and the RNG draw order is part of the
+   contract. *)
+let generators_stream_matches_eager () =
+  let collect emit =
+    let acc = ref [] in
+    emit (fun u v -> acc := (u, v) :: !acc);
+    List.rev !acc
+  in
+  let g1 = Graph.create ~n:35 (collect (Generators.Stream.grid ~rows:5 ~cols:7)) in
+  let g2 = Generators.grid ~rows:5 ~cols:7 in
+  check Alcotest.bool "grid" true (graphs_identical g1 g2);
+  let t1 =
+    Graph.create ~n:50 (collect (Generators.Stream.random_tree (Rng.create 3) ~n:50))
+  in
+  let t2 = Generators.random_tree (Rng.create 3) ~n:50 in
+  check Alcotest.bool "random tree" true (graphs_identical t1 t2);
+  let p1 =
+    Graph.create ~n:200
+      (collect
+         (Generators.Stream.preferential_attachment (Rng.create 5) ~n:200 ~m0:3))
+  in
+  let p2 = Generators.preferential_attachment (Rng.create 5) ~n:200 ~m0:3 in
+  check Alcotest.bool "preferential attachment" true (graphs_identical p1 p2);
+  check Alcotest.int "pa edge count" ((3 * 4 / 2) + ((200 - 4) * 3)) (Graph.m p2)
+
+(* Differential check of the CSR subgraph path against a naive edge-list
+   reimplementation of the same contract (kept vertices in ascending
+   order, kept edges in ascending edge-id order). *)
+let graph_subgraph_differential =
+  QCheck.Test.make ~name:"subgraph = naive edge-list filter" ~count:25
+    QCheck.(pair (int_bound 1000) (int_range 3 40))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed ~n ~extra:n in
+      let vertex_keep v = v mod 3 <> 0 in
+      let edge_keep e = e mod 2 = 0 in
+      let h, old_v, old_e = Graph.subgraph g ~vertex_keep ~edge_keep in
+      let new_of_old = Array.make n (-1) in
+      let kept = ref [] in
+      for v = n - 1 downto 0 do
+        if vertex_keep v then kept := v :: !kept
+      done;
+      List.iteri (fun i v -> new_of_old.(v) <- i) !kept;
+      let naive_edges = ref [] and naive_old_e = ref [] in
+      Array.iteri
+        (fun e (u, v) ->
+          if edge_keep e && vertex_keep u && vertex_keep v then begin
+            naive_edges := (new_of_old.(u), new_of_old.(v)) :: !naive_edges;
+            naive_old_e := e :: !naive_old_e
+          end)
+        (Graph.edges g);
+      let naive = Graph.create ~n:(List.length !kept) (List.rev !naive_edges) in
+      graphs_identical h naive
+      && Array.to_list old_v = !kept
+      && Array.to_list old_e = List.rev !naive_old_e)
+
 let graph_io_rejects_garbage () =
-  Alcotest.check_raises "bad header" (Invalid_argument "Graph_io.of_edge_list: bad line")
-    (fun () -> ignore (Graph_io.of_edge_list "hello world\n"))
+  Alcotest.check_raises "bad header"
+    (Invalid_argument "Graph_io.of_edge_list: line 1: expected an integer")
+    (fun () -> ignore (Graph_io.of_edge_list "hello world\n"));
+  Alcotest.check_raises "bad edge line"
+    (Invalid_argument "Graph_io.of_edge_list: line 3: expected an integer")
+    (fun () -> ignore (Graph_io.of_edge_list "3 2\n0 1\n1 zebra\n"));
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Graph_io.of_edge_list: edge count: header declares 2, found 1")
+    (fun () -> ignore (Graph_io.of_edge_list "3 2\n0 1\n"))
 
 (* --- Lower_bound_graph -------------------------------------------------- *)
 
@@ -539,6 +665,8 @@ let props =
       partition_random_blobs;
       dfs_bridges_match_bruteforce;
       graph_io_roundtrip;
+      graph_io_binary_roundtrip;
+      graph_subgraph_differential;
     ]
 
 let suite =
@@ -589,6 +717,8 @@ let suite =
     case "dfs: preorder" `Quick dfs_preorder;
     case "graph io: dot" `Quick graph_io_dot;
     case "graph io: rejects garbage" `Quick graph_io_rejects_garbage;
+    case "graph io: mmap = heap accessors" `Quick graph_io_mmap_matches_heap;
+    case "generators: stream = eager" `Quick generators_stream_matches_eager;
     case "lower bound: structure" `Quick lower_bound_structure;
     case "lower bound: diameter/density" `Quick lower_bound_diameter_and_density;
     case "lower bound: rejects params" `Quick lower_bound_rejects_params;
