@@ -200,6 +200,56 @@ let faulty_entries =
   in
   [ make "grid16" false 16; make "grid28" true 28 ]
 
+(* Traced-run overhead: the same flood broadcast under each observability
+   configuration, so the price of watching a run is a row in the gated
+   allocation matrix rather than folklore. [untraced] is the in-section
+   baseline; [profile] pays the dense Exact counters; [sketch] the
+   bounded-memory Space-Saving/quantile pair; [stream] additionally
+   writes every event as a line of lcs-trace-stream/1 JSON (to a fixed
+   temp path, recreated and removed per run, so the measured allocation
+   stays deterministic). *)
+let traced_entries =
+  let stream_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "lcs_sim_bench_trace.jsonl"
+  in
+  let make name large rows tracer_of =
+    {
+      name = "traced_overhead/" ^ name;
+      large;
+      prepare =
+        (fun () ->
+          let g = Generators.grid ~rows ~cols:rows in
+          let program = flood_program g ~root:0 in
+          fun () ->
+            let tracer, finish = tracer_of g in
+            ignore (Simulator.run ?tracer g program);
+            finish ());
+    }
+  in
+  let untraced _g = (None, fun () -> ()) in
+  let profiled mode g =
+    let p = Trace.Profile.create ~mode ~edges:(Graph.m g) () in
+    (Some (Trace.Profile.tracer p), fun () -> ignore (Trace.Profile.total_words p))
+  in
+  let streamed g =
+    let sink = Trace.Stream.create stream_path in
+    let p = Trace.Profile.create ~edges:(Graph.m g) () in
+    ( Some (Trace.tee [ Trace.Profile.tracer p; Trace.Stream.tracer sink ]),
+      fun () ->
+        Trace.Stream.close sink;
+        Sys.remove stream_path )
+  in
+  [
+    make "untraced/grid16" false 16 untraced;
+    make "profile/grid16" false 16 (profiled Trace.Profile.Exact);
+    make "sketch/grid16" false 16 (profiled (Trace.Profile.Sketch 256));
+    make "stream/grid16" false 16 streamed;
+    make "untraced/grid28" true 28 untraced;
+    make "profile/grid28" true 28 (profiled Trace.Profile.Exact);
+    make "sketch/grid28" true 28 (profiled (Trace.Profile.Sketch 256));
+    make "stream/grid28" true 28 streamed;
+  ]
+
 (* The distributed construction is the heaviest simulator client (BFS +
    detection waves); sizes stay modest to keep full mode under a minute. *)
 let distributed_entries =
@@ -420,7 +470,8 @@ let run_suite ~quick ~iters =
         (s.seconds *. 1e3);
       bench_rows := (e.name, sample_json s) :: !bench_rows)
     (selected
-       (sync_bfs_entries @ partwise_entries @ faulty_entries @ distributed_entries));
+       (sync_bfs_entries @ partwise_entries @ faulty_entries @ traced_entries
+      @ distributed_entries));
   ( Json.Obj
       [
         ("schema", Json.String schema);

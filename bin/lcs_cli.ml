@@ -171,6 +171,18 @@ let domains_arg =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let sketch_arg =
+  let doc =
+    "Collect the congestion profile with the bounded-memory Space-Saving \
+     sketch tracking $(docv) edge counters instead of the exact per-edge \
+     table; the profile JSON then carries per-entry overcount bounds and \
+     the sketch's own accounting. Auto-selected (budget 4096) above 10^6 \
+     edges when omitted."
+  in
+  Arg.(value & opt (some int) None & info [ "sketch" ] ~docv:"BUDGET" ~doc)
+
+let mode_of_sketch = Option.map (fun b -> Trace.Profile.Sketch b)
+
 (* --- info subcommand -------------------------------------------------- *)
 
 let info_cmd =
@@ -303,15 +315,30 @@ let shortcut_cmd =
        simulator — that is where shortcut construction has a genuine
        CONGEST event stream (BFS + detection waves). *)
     (if obs <> None then begin
-       let recorder, profile, tracer = Report.tracing g ~on:true in
+       let stream =
+         match trace with
+         | Some path when Report.is_stream path ->
+             Some
+               ( path,
+                 Report.stream_tracing g ~command:"shortcut"
+                   ~protocol:"distributed.construct" ~seed path )
+         | _ -> None
+       in
+       let recorder, profile, tracer =
+         match stream with
+         | Some (_, (_, p, t)) -> (None, Some p, Some t)
+         | None -> Report.tracing g ~on:true
+       in
        let o = Distributed.construct ?obs ~domains ?tracer partition ~root:0 in
        Printf.printf
          "distributed pipeline: delta=%d guesses=%d bfs_rounds=%d wave_rounds=%d\n"
          o.Distributed.delta o.Distributed.guesses
          o.Distributed.bfs_stats.Simulator.rounds o.Distributed.wave_rounds;
-       (match trace with
-       | None -> ()
-       | Some path ->
+       (match (trace, stream) with
+       | _, Some (path, (sink, sprofile, _)) ->
+           Report.finish_stream path sink sprofile
+       | None, None -> ()
+       | Some path, None ->
            let profile = Option.get profile in
            let sc = o.Distributed.result.Construct.shortcut in
            let doc =
@@ -353,7 +380,9 @@ let shortcut_cmd =
              ~doc:"also run the distributed (Theorem 1.5) pipeline on the \
                    enforced simulator with tracing on and write the JSON run \
                    report (stats, per-edge congestion profile, per-part \
-                   traffic, event stream, spans/metrics/ledger) to $(docv)")
+                   traffic, event stream, spans/metrics/ledger) to $(docv); a \
+                   .jsonl suffix instead streams the events line by line \
+                   (lcs-trace-stream/1)")
   in
   let spans_arg =
     Arg.(value & opt (some string) None
@@ -381,7 +410,8 @@ let shortcut_cmd =
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
-  let run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans ~domains =
+  let run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans
+      ~domains ~mode =
     (* Fault-injection mode: the enforced simulator run (the same protocol
        --trace exercises) under a compiled plan, classified and validated
        by Sim_aggregate.minimum_outcome instead of asserted correct. The
@@ -395,11 +425,28 @@ let pa_cmd =
     in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
     let recorder = Trace.Recorder.create () in
-    let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+    let profile = Trace.Profile.create ?mode ~edges:(Graph.m g) () in
+    (* A .jsonl trace target swaps the in-memory recorder for the
+       line-delimited streaming sink: every attempt's events spill to
+       disk as they happen (the analyzer segments multi-attempt files). *)
+    let sink =
+      match trace with
+      | Some path when Report.is_stream path ->
+          Some
+            (Report.open_stream g ~command:"pa"
+               ~protocol:"sim_aggregate.minimum_outcome" ~seed path)
+      | _ -> None
+    in
     let tracer =
       if trace = None && spans = None then None
       else
-        Some (Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ])
+        Some
+          (Trace.tee
+             (Trace.Profile.tracer profile
+             ::
+             (match sink with
+             | Some s -> [ Trace.Stream.tracer s ]
+             | None -> [ Trace.Recorder.tracer recorder ])))
     in
     let last_counts = ref None in
     let run_attempt ?reliable ?budget ~inj_seed ~sched_seed () =
@@ -483,9 +530,10 @@ let pa_cmd =
        delays=%d crashes=%d\n"
       counts.Fault.drops counts.Fault.link_down_drops counts.Fault.to_crashed
       counts.Fault.duplicates counts.Fault.delays counts.Fault.crashes;
-    (match trace with
-    | None -> ()
-    | Some path ->
+    (match (trace, sink) with
+    | Some path, Some s -> Report.finish_stream path s profile
+    | None, _ -> ()
+    | Some path, None ->
         let doc =
           Report.assemble ~command:"pa" ~protocol:"sim_aggregate.minimum_outcome"
             ~seed ~g
@@ -524,16 +572,18 @@ let pa_cmd =
     Report.write_spans ~recorder spans obs;
     0
   in
-  let run family parts seed trace spans faults fault_seed policy domains =
+  let run family parts seed trace spans faults fault_seed policy domains sketch =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
     let sc = (Boost.full partition ~tree).Boost.shortcut in
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
+    let mode = mode_of_sketch sketch in
     match faults with
     | Some fpath ->
-        run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans ~domains
+        run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans
+          ~domains ~mode
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -546,8 +596,22 @@ let pa_cmd =
     (if obs <> None then begin
        (* The traced run is the genuine CONGEST execution (Sim_aggregate):
           every transmission crosses the simulator's enforced 1-word
-          bandwidth and lands in the event stream. *)
-       let recorder, profile, tracer = Report.tracing g ~on:true in
+          bandwidth and lands in the event stream. A .jsonl target streams
+          that stream to disk line by line instead of recording it. *)
+       match trace with
+       | Some path when Report.is_stream path ->
+           let sink, profile, tracer =
+             Report.stream_tracing ?mode g ~command:"pa"
+               ~protocol:"sim_aggregate.minimum" ~seed path
+           in
+           let _sim =
+             Sim_aggregate.minimum ~domains ?obs ~tracer (Rng.create (seed + 7))
+               sc ~values
+           in
+           Report.finish_stream path sink profile;
+           Report.write_spans spans obs
+       | _ ->
+       let recorder, profile, tracer = Report.tracing ?mode g ~on:true in
        let sim =
          Sim_aggregate.minimum ~domains ?obs ?tracer (Rng.create (seed + 7)) sc ~values
        in
@@ -588,7 +652,9 @@ let pa_cmd =
              ~doc:"run the aggregation under the enforced simulator with tracing \
                    on and write the JSON run report (stats, per-edge congestion \
                    profile, per-part traffic, event stream, \
-                   spans/metrics/ledger) to $(docv)")
+                   spans/metrics/ledger) to $(docv); a .jsonl suffix instead \
+                   streams the events line by line (lcs-trace-stream/1, O(1) \
+                   resident memory — see `lcs top' and `lcs analyze')")
   in
   let spans_arg =
     Arg.(value & opt (some string) None
@@ -614,7 +680,7 @@ let pa_cmd =
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ spans_arg
-          $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg)
+          $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg $ sketch_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 
@@ -630,7 +696,20 @@ let mst_cmd =
       | other -> invalid_arg ("unknown mode " ^ other)
     in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
-    let recorder, profile, tracer = Report.tracing g ~on:(obs <> None) in
+    let stream =
+      match trace with
+      | Some path when Report.is_stream path ->
+          Some
+            ( path,
+              Report.stream_tracing g ~command:"mst"
+                ~protocol:"boruvka_engine.run" ~seed path )
+      | _ -> None
+    in
+    let recorder, profile, tracer =
+      match stream with
+      | Some (_, (_, p, t)) -> (None, Some p, Some t)
+      | None -> Report.tracing g ~on:(obs <> None)
+    in
     let reference = Kruskal.mst w in
     let result =
       match policy with
@@ -674,9 +753,11 @@ let mst_cmd =
       (List.length result.Mst.edges)
       result.Mst.accounting.Boruvka_engine.phases
       result.Mst.accounting.Boruvka_engine.pa_rounds ok;
-    (match trace with
-    | None -> ()
-    | Some path ->
+    (match (trace, stream) with
+    | _, Some (path, (sink, sprofile, _)) ->
+        Report.finish_stream path sink sprofile
+    | None, None -> ()
+    | Some path, None ->
         let recorder = Option.get recorder and profile = Option.get profile in
         let acc = result.Mst.accounting in
         let doc =
@@ -711,7 +792,9 @@ let mst_cmd =
          & info [ "trace" ] ~docv:"PATH"
              ~doc:"trace every phase's packet-routed aggregation and write the \
                    JSON run report (accounting, per-edge congestion profile, \
-                   event stream, spans/metrics/ledger) to $(docv)")
+                   event stream, spans/metrics/ledger) to $(docv); a .jsonl \
+                   suffix instead streams the events line by line \
+                   (lcs-trace-stream/1)")
   in
   let spans_arg =
     Arg.(value & opt (some string) None
@@ -818,7 +901,7 @@ let certificate_cmd =
 (* --- analyze subcommand ------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run path json_out flows_out =
+  let run_report_runs path =
     let contents =
       match open_in_bin path with
       | ic ->
@@ -837,12 +920,33 @@ let analyze_cmd =
           Printf.eprintf "lcs: %s: invalid JSON: %s\n" path msg;
           exit 1
     in
+    match Analyze.of_json doc with
+    | Ok runs -> runs
+    | Error msg ->
+        Printf.eprintf "lcs: %s: %s\n" path msg;
+        exit 1
+  in
+  (* A streamed (.jsonl) trace is read line by line; the causal DAG the
+     analyzer builds still needs every event, but the file is never held
+     in memory as one JSON document. *)
+  let streamed_runs path =
+    let events = ref [] in
+    match
+      Trace.Stream.fold path ~init:() ~f:(fun () line ->
+          match line with
+          | Trace.Stream.Event ev -> events := ev :: !events
+          | Trace.Stream.Meta _ | Trace.Stream.Snapshot _
+          | Trace.Stream.Truncated _ -> ())
+    with
+    | Ok () -> Analyze.of_events (List.rev !events)
+    | Error msg ->
+        Printf.eprintf "lcs: %s: %s\n" path msg;
+        exit 1
+  in
+  let run path json_out flows_out =
     let runs =
-      match Analyze.of_json doc with
-      | Ok runs -> runs
-      | Error msg ->
-          Printf.eprintf "lcs: %s: %s\n" path msg;
-          exit 1
+      if Report.is_stream path then streamed_runs path
+      else run_report_runs path
     in
     if runs = [] then Printf.printf "%s: no simulator runs in trace\n" path;
     List.iter (fun r -> print_string (Analyze.to_text r)) runs;
@@ -881,8 +985,9 @@ let analyze_cmd =
   let trace_pos =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"TRACE"
-             ~doc:"run report written by pa/shortcut/mst --trace (or a bare \
-                   event array)")
+             ~doc:"run report written by pa/shortcut/mst --trace, a bare \
+                   event array, or a streamed .jsonl trace \
+                   (lcs-trace-stream/1)")
   in
   let json_arg =
     Arg.(value & opt (some string) None
@@ -1190,11 +1295,224 @@ let graph_cmd =
     (Cmd.info "graph" ~doc:"generate, convert and inspect graph files")
     [ graph_gen_cmd; graph_convert_cmd; graph_info_cmd ]
 
+(* --- bcast subcommand (streaming flood broadcast) ----------------------- *)
+
+(* Graph flood: the root's token reaches every node, each node forwards on
+   every port exactly once — 2m messages in eccentricity(root)+1 rounds,
+   the simulator's canonical full-graph workload (the macro-bench runs
+   the same program). States: 0 waiting, 1 has the token, 2 halted. *)
+let flood_program g ~root =
+  let outboxes =
+    Array.init (Graph.n g) (fun v ->
+        List.init (Graph.degree g v) (fun p -> (p, 1)))
+  in
+  {
+    Simulator.init = (fun ctx -> if ctx.Simulator.node = root then 1 else 0);
+    on_round =
+      (fun ctx st ~inbox ->
+        let st = if st = 0 && inbox <> [] then 1 else st in
+        if st = 1 then (2, outboxes.(ctx.Simulator.node)) else (st, []));
+    is_halted = (fun st -> st = 2);
+    msg_words = (fun _ -> 1);
+  }
+
+let bcast_cmd =
+  let run family seed trace every profile_out sketch domains =
+    let g = build_gen_family seed family in
+    let mode = mode_of_sketch sketch in
+    let program = flood_program g ~root:0 in
+    let sink =
+      match trace with
+      | None -> None
+      | Some path ->
+          Some
+            ( path,
+              Report.open_stream g ~command:"bcast" ~protocol:"flood.broadcast"
+                ~seed path )
+    in
+    let tracer = Option.map (fun (_, s) -> Trace.Stream.tracer s) sink in
+    let flight =
+      match sink with
+      | Some (_, s) when every > 0 -> Some (every, Trace.Stream.snapshot s)
+      | _ -> None
+    in
+    let _states, p =
+      Simulator_par.run_profiled ~domains ?mode ?flight ?tracer g program
+    in
+    let stats = p.Simulator.base in
+    let profile = p.Simulator.profile in
+    Printf.printf
+      "broadcast: n=%d m=%d — %d rounds, %d messages, %d words, max edge \
+       load %d\n"
+      (Graph.n g) (Graph.m g) stats.Simulator.rounds stats.Simulator.messages
+      stats.Simulator.words stats.Simulator.max_edge_load;
+    (match sink with
+    | None -> ()
+    | Some (path, s) -> Report.finish_stream path s profile);
+    (match profile_out with
+    | None -> ()
+    | Some out ->
+        Report.write_json out (Trace.Profile.to_json profile)
+          ~describe:(fun () ->
+            Printf.printf "profile: wrote %s (%d words over %d edges)\n" out
+              (Trace.Profile.total_words profile)
+              (Trace.Profile.edges_used profile)));
+    0
+  in
+  let family_arg =
+    Arg.(
+      required
+      & opt (some gen_family_conv) None
+      & info [ "family"; "f" ] ~docv:"FAMILY"
+          ~doc:"Streaming families grid:R[,C] | tree:N | pa:N,M0, or any \
+                --graph family.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"stream the run's events to $(docv) as line-delimited \
+                   lcs-trace-stream/1 JSON — resident memory stays O(1) \
+                   however long the run")
+  in
+  let every_arg =
+    Arg.(value & opt int 0
+         & info [ "every" ] ~docv:"N"
+             ~doc:"with --trace, also write a flight-recorder snapshot line \
+                   (round, cumulative words, heavy hitters, halt count, \
+                   per-domain queue depths) every $(docv) rounds; the final \
+                   snapshot is always written")
+  in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile-out" ] ~docv:"PATH"
+             ~doc:"write the run's congestion profile JSON to $(docv) — \
+                   byte-comparable against `lcs top --profile' output \
+                   rebuilt from the streamed trace")
+  in
+  Cmd.v
+    (Cmd.info "bcast"
+       ~doc:"flood-broadcast a token over a (possibly huge) graph family \
+             on the enforced simulator, streaming its trace to disk")
+    Term.(const run $ family_arg $ seed_arg $ trace_arg $ every_arg
+          $ profile_out_arg $ sketch_arg $ domains_arg)
+
+(* --- top subcommand (flight-recorder viewer) ---------------------------- *)
+
+let top_cmd =
+  let run path k profile_out =
+    (* One pass over the streamed file: remember the header, tabulate the
+       flight snapshots, and rebuild the congestion profile by replaying
+       every event line into a fresh collector. *)
+    let header = ref [] in
+    let snaps = ref [] in
+    let profile = ref None in
+    let feed = ref (fun (_ : Trace.event) -> ()) in
+    let ensure_profile edges =
+      if !profile = None then begin
+        let p = Trace.Profile.create ~edges () in
+        profile := Some p;
+        feed := Trace.Profile.tracer p
+      end
+    in
+    let result =
+      Trace.Stream.fold path ~init:0 ~f:(fun events line ->
+          match line with
+          | Trace.Stream.Meta (Json.Obj fields as m) ->
+              header := fields;
+              ensure_profile
+                (match Json.member "m" m with
+                | Some (Json.Int edges) -> edges
+                | _ -> 0);
+              events
+          | Trace.Stream.Meta _ -> events
+          | Trace.Stream.Event ev ->
+              ensure_profile 0;
+              !feed ev;
+              events + 1
+          | Trace.Stream.Snapshot s ->
+              snaps := s :: !snaps;
+              events
+          | Trace.Stream.Truncated _ -> events)
+    in
+    match result with
+    | Error msg ->
+        Printf.eprintf "lcs: %s: %s\n" path msg;
+        1
+    | Ok events ->
+        let field name =
+          match List.assoc_opt name !header with
+          | Some (Json.String s) -> s
+          | Some (Json.Int i) -> string_of_int i
+          | _ -> "?"
+        in
+        Printf.printf "%s: %s run (n=%s m=%s seed=%s), %d events\n" path
+          (field "command") (field "n") (field "m") (field "seed") events;
+        let snaps = List.rev !snaps in
+        if snaps <> [] then begin
+          Printf.printf "%8s %12s %12s %8s  %-18s %s\n" "round" "words"
+            "messages" "halted" "hottest edge" "queues";
+          List.iter
+            (fun (s : Trace.Flight.snapshot) ->
+              Printf.printf "%8d %12d %12d %8d  %-18s %s\n" s.Trace.Flight.round
+                s.Trace.Flight.words s.Trace.Flight.messages
+                s.Trace.Flight.halted
+                (match s.Trace.Flight.top with
+                | (e, w) :: _ -> Printf.sprintf "%d (%d w)" e w
+                | [] -> "-")
+                (if s.Trace.Flight.queues = [||] then "-"
+                 else
+                   String.concat " "
+                     (Array.to_list
+                        (Array.map string_of_int s.Trace.Flight.queues))))
+            snaps
+        end;
+        (match !profile with
+        | None -> Printf.printf "no event lines: nothing to rebuild\n"
+        | Some p ->
+            Printf.printf "top %d edges by words (rebuilt from the stream):\n" k;
+            List.iter
+              (fun (e, w) -> Printf.printf "  edge %-8d %12d words\n" e w)
+              (Trace.Profile.top_edges ~k p);
+            match profile_out with
+            | None -> ()
+            | Some out ->
+                Report.write_json out (Trace.Profile.to_json p)
+                  ~describe:(fun () ->
+                    Printf.printf "profile: wrote %s (%d words over %d edges)\n"
+                      out
+                      (Trace.Profile.total_words p)
+                      (Trace.Profile.edges_used p)));
+        0
+  in
+  let trace_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"streamed lcs-trace-stream/1 file written by --trace \
+                   FILE.jsonl")
+  in
+  let k_arg =
+    Arg.(value & opt int 10
+         & info [ "k" ] ~docv:"K" ~doc:"how many heavy hitters to print")
+  in
+  let profile_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"PATH"
+             ~doc:"write the congestion profile rebuilt from the stream as \
+                   JSON to $(docv) — byte-identical to the in-memory profile \
+                   of the same run in the same mode")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"render a streamed trace's flight-recorder snapshots and \
+             rebuild its congestion profile")
+    Term.(const run $ trace_pos $ k_arg $ profile_arg)
+
 let () =
   let doc = "low-congestion shortcuts toolbox" in
   let info = Cmd.info "lcs" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; chaos_cmd; export_cmd;
-            certificate_cmd; analyze_cmd; experiment_cmd; graph_cmd ]))
+          [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; bcast_cmd; chaos_cmd;
+            export_cmd; certificate_cmd; analyze_cmd; top_cmd; experiment_cmd;
+            graph_cmd ]))

@@ -88,13 +88,69 @@ let write_spans ?recorder spans obs =
   | _ -> ()
 
 (* Tracing harness: a recorder + profile pair tee'd into one tracer, or
-   nothing when the report does not need them. *)
-let tracing g ~on =
+   nothing when the report does not need them. [mode] selects the
+   profile's accounting mode (--sketch). *)
+let tracing ?mode g ~on =
   if not on then (None, None, None)
   else
     let recorder = Trace.Recorder.create () in
-    let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+    let profile = Trace.Profile.create ?mode ~edges:(Graph.m g) () in
     let tracer =
       Trace.tee [ Trace.Profile.tracer profile; Trace.Recorder.tracer recorder ]
     in
     (Some recorder, Some profile, Some tracer)
+
+(* --- streaming traces (--trace FILE.jsonl) ------------------------------ *)
+
+(* Trace output format by extension, mirroring the graph loader's .bin
+   convention: a .jsonl suffix selects the line-delimited streaming sink
+   (lcs-trace-stream/1), anything else the in-memory JSON run report. *)
+let is_stream path = Filename.check_suffix path ".jsonl"
+
+let run_meta ~command ~protocol ~seed g =
+  [
+    ("command", Json.String command);
+    ("protocol", Json.String protocol);
+    ("seed", Json.Int seed);
+    ("n", Json.Int (Graph.n g));
+    ("m", Json.Int (Graph.m g));
+  ]
+
+let open_stream g ~command ~protocol ~seed path =
+  match Trace.Stream.create ~meta:(run_meta ~command ~protocol ~seed g) path with
+  | sink -> sink
+  | exception Sys_error msg ->
+      Printf.eprintf "lcs: cannot write %s: %s\n" path msg;
+      exit 1
+
+(* Streaming tracing harness: the congestion profile plus the
+   line-delimited sink — no in-memory recorder, so resident memory stays
+   O(1) in the event count. [every > 0] additionally tees a flight
+   observer that writes a snapshot line at that round cadence. *)
+let stream_tracing ?mode ?(every = 0) g ~command ~protocol ~seed path =
+  let sink = open_stream g ~command ~protocol ~seed path in
+  let profile = Trace.Profile.create ?mode ~edges:(Graph.m g) () in
+  let tracers =
+    [ Trace.Profile.tracer profile; Trace.Stream.tracer sink ]
+    @
+    if every > 0 then
+      [ Trace.Flight.observer ~every profile (Trace.Stream.snapshot sink) ]
+    else []
+  in
+  (sink, profile, Trace.tee tracers)
+
+(* Close a sink after one final snapshot, so `lcs top` always has the
+   end-of-run vital signs even when no cadence was requested. *)
+let finish_stream path sink profile =
+  Trace.Stream.snapshot sink
+    (Trace.Flight.of_profile ~round:(Trace.Profile.rounds profile) profile);
+  Trace.Stream.close sink;
+  Printf.printf
+    "trace: streamed %s (%d events, %d snapshots; %d words over %d edges \
+     in %d rounds)\n"
+    path
+    (Trace.Stream.events_written sink)
+    (Trace.Stream.snapshots_written sink)
+    (Trace.Profile.total_words profile)
+    (Trace.Profile.edges_used profile)
+    (Trace.Profile.rounds profile)

@@ -329,6 +329,11 @@ let events_of_json doc =
   | Ok (Json.List items) ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)
+        (* A capped recorder ends its stream with a {"t":"truncated",
+           "dropped":N} marker — metadata, not an event; skip it. *)
+        | item :: rest
+          when Json.member "t" item = Some (Json.String "truncated") ->
+            go acc rest
         | item :: rest -> (
             match Trace.event_of_json item with
             | Ok ev -> go (ev :: acc) rest

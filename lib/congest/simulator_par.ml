@@ -162,7 +162,7 @@ type 'msg pending = {
   p_msg : 'msg;
 }
 
-let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
+let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g program =
   let n = Graph.n g in
   let csr = Csr.build g in
   let ctxs = Csr.contexts csr n in
@@ -254,6 +254,33 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
           Array.make (max 1 ports) 0)
   in
   let ntouched = Array.make d 0 in
+  (* --- per-domain profile shards (profiled, untraced, fault-free) -------- *)
+  (* Profile aggregation is order-insensitive (sums, maxima, mergeable
+     sketches), so unlike event tracing it needs no serial replay: each
+     domain feeds its own shard through the event-free recording entry
+     points and the shards merge — at flight-snapshot barriers and once at
+     the end — into the caller's profile. Exact-mode merges are
+     bit-identical to the serial collector at every domain count. *)
+  let profiled = profile <> None && not serialized in
+  let final_profile, flight =
+    match profile with Some (p, f) -> (Some p, f) | None -> (None, None)
+  in
+  let shard_mode =
+    match final_profile with
+    | Some p -> Trace.Profile.mode p
+    | None -> Trace.Profile.Exact
+  in
+  let shards =
+    if profiled then
+      Array.init d (fun _ -> Trace.Profile.create ~mode:shard_mode ~edges:(Graph.m g) ())
+    else [||]
+  in
+  let roundmax_s = Array.make d 0 in
+  let merged_shards () =
+    let acc = Trace.Profile.create ~mode:shard_mode ~edges:(Graph.m g) () in
+    Array.iter (fun shard -> Trace.Profile.merge_into ~into:acc shard) shards;
+    acc
+  in
   let rec send_fast s v base outbox =
     match outbox with
     | [] -> ()
@@ -278,6 +305,12 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
         if used > maxload_s.(s) then maxload_s.(s) <- used;
         messages_s.(s) <- messages_s.(s) + 1;
         words_s.(s) <- words_s.(s) + size;
+        if profiled then begin
+          Trace.Profile.record_send shards.(s) ~round:!rounds
+            ~edge:(Intvec.unsafe_get csr.Csr.port_edge slot)
+            ~words:size;
+          if used > roundmax_s.(s) then roundmax_s.(s) <- used
+        end;
         let w = Intvec.unsafe_get csr.Csr.port_neighbor slot in
         let cell = out.(s).(owner.(w)) in
         Vec.push cell.ob_dst w;
@@ -299,7 +332,8 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
           send_fast s v (Intvec.get csr.Csr.port_offset v) outbox;
           if program.Simulator.is_halted state then begin
             halted.(v) <- true;
-            live_delta.(s) <- live_delta.(s) - 1
+            live_delta.(s) <- live_delta.(s) - 1;
+            if profiled then Trace.Profile.record_halt shards.(s) ~round:!rounds
           end
         end
         else begin
@@ -310,7 +344,14 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
       for i = 0 to ntouched.(s) - 1 do
         budget.(touched_s.(s).(i)) <- 0
       done;
-      ntouched.(s) <- 0
+      ntouched.(s) <- 0;
+      if profiled then begin
+        (* Close the round on this shard: its local bandwidth high-water
+           mark; the shard merge's [set_max] recovers the global one. *)
+        Trace.Profile.record_round shards.(s) ~round:!rounds
+          ~max_edge_load:roundmax_s.(s);
+        roundmax_s.(s) <- 0
+      end
     with exn -> fail.(s) <- Some (fail_node.(s), exn)
   in
   let phase_drain t =
@@ -656,9 +697,25 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
         cur_ids := !nxt_ids;
         nxt_ids := ti
       end;
-      match tracer with
+      (match tracer with
       | None -> ()
-      | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max })
+      | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max }));
+      match flight with
+      | Some (every, emit) when profiled && every > 0 && !rounds mod every = 0 ->
+          (* Flight snapshot at the barrier: merge the shards into a
+             throwaway profile for the heavy hitters and vitals, and read
+             each domain's pending-delivery depth off the inboxes the
+             swap just made current. *)
+          let queues = Array.make d 0 in
+          for s = 0 to d - 1 do
+            let depth = ref 0 in
+            for v = bounds.(s) to bounds.(s + 1) - 1 do
+              depth := !depth + Vec.length (!cur_ports).(v)
+            done;
+            queues.(s) <- !depth
+          done;
+          emit (Trace.Flight.of_profile ~queues ~round:!rounds (merged_shards ()))
+      | _ -> ()
     end
   done;
   if not serialized then begin
@@ -668,6 +725,10 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program =
       if maxload_s.(s) > !max_edge_load then max_edge_load := maxload_s.(s)
     done
   end;
+  (match final_profile with
+  | Some p when profiled ->
+      Array.iter (fun shard -> Trace.Profile.merge_into ~into:p shard) shards
+  | _ -> ());
   let stats =
     {
       Simulator.rounds = !rounds;
@@ -705,12 +766,41 @@ let run ?domains ?bandwidth ?max_rounds ?tracer ?faults g program =
   | Simulator.Out_of_rounds (_, partial) ->
       raise (Simulator.Round_limit partial.Simulator.partial_stats.Simulator.rounds)
 
-let run_profiled ?domains ?bandwidth ?max_rounds ?tracer ?faults g program =
-  let profile = Trace.Profile.create ~edges:(Graph.m g) () in
-  let tracer =
-    match tracer with
-    | None -> Trace.Profile.tracer profile
-    | Some t -> Trace.tee [ Trace.Profile.tracer profile; t ]
-  in
-  let states, base = run ?domains ?bandwidth ?max_rounds ~tracer ?faults g program in
-  (states, { Simulator.base; profile })
+let run_profiled ?(domains = 1) ?(bandwidth = 1) ?(max_rounds = 100_000) ?mode ?flight
+    ?tracer ?faults g program =
+  if domains < 1 then invalid_arg "Simulator_par.run: domains";
+  if bandwidth < 1 then invalid_arg "Simulator_par.run: bandwidth";
+  let profile = Trace.Profile.create ?mode ~edges:(Graph.m g) () in
+  let d = min domains (min (max 1 (Graph.n g)) max_shards) in
+  if tracer = None && faults = None && d > 1 then begin
+    (* Profile-only parallel run: no event order to reproduce, so the
+       fast path runs end to end with per-domain shards — profiled runs
+       no longer pay the serial-replay tax. *)
+    match
+      run_sharded ~domains:d ~bandwidth ~max_rounds ~profile:(profile, flight) g
+        program
+    with
+    | Simulator.Finished (states, base) -> (states, { Simulator.base; profile })
+    | Simulator.Out_of_rounds (_, partial) ->
+        raise (Simulator.Round_limit partial.Simulator.partial_stats.Simulator.rounds)
+  end
+  else begin
+    (* An external tracer or a fault plan serializes anyway (see the
+       determinism contract above); collect through the tracer as before,
+       with the flight observer teed after the profile so snapshots see
+       each closed round. *)
+    let collectors =
+      (Trace.Profile.tracer profile :: Option.to_list tracer)
+      @
+      match flight with
+      | None -> []
+      | Some (every, emit) -> [ Trace.Flight.observer ~every profile emit ]
+    in
+    let tracer =
+      match collectors with [ t ] -> t | ts -> Trace.tee ts
+    in
+    let states, base =
+      run ~domains ~bandwidth ~max_rounds ~tracer ?faults g program
+    in
+    (states, { Simulator.base; profile })
+  end

@@ -74,12 +74,32 @@ val run_profiled :
   ?domains:int ->
   ?bandwidth:int ->
   ?max_rounds:int ->
+  ?mode:Trace.Profile.mode ->
+  ?flight:int * (Trace.Flight.snapshot -> unit) ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) Simulator.program ->
   'state array * Simulator.profiled_stats
-(** Like {!Simulator.run_profiled} on [domains] shards. Note that a
-    profile collector is a tracer: the run takes the serialized replay
-    path, whose per-edge profile is byte-identical at every domain
-    count. *)
+(** Like {!Simulator.run_profiled} on [domains] shards.
+
+    Profile aggregation — unlike event tracing — is order-insensitive, so
+    a profile-only run (no [?tracer], no [?faults]) keeps the fully
+    parallel fast path: every domain feeds its own {!Trace.Profile} shard
+    through the event-free recording entry points and the shards merge at
+    the end (and at each flight snapshot). In [Exact] mode the merged
+    profile is byte-identical to the serial collector's at every domain
+    count — the differential suite pins this.
+
+    [mode] selects the profile's accounting mode exactly as
+    {!Trace.Profile.create} does (auto-selecting [Sketch] above
+    {!Trace.Profile.sketch_threshold} edges when omitted).
+
+    [flight = (every, emit)] emits a {!Trace.Flight.snapshot} at each
+    [every]-th round barrier, with per-domain pending-delivery queue
+    depths filled in on the parallel path.
+
+    With a [?tracer] or [?faults] the run serializes at the barrier as
+    before (see the determinism contract) and the profile collects
+    through the event stream; the flight observer then rides on the
+    tracer tee with empty queue depths. *)

@@ -1,4 +1,5 @@
 module Json = Lcs_util.Json
+module Sketch = Lcs_util.Sketch
 
 type event =
   | Round_start of { round : int; live : int }
@@ -360,30 +361,73 @@ module Ibuf = struct
     if v > b.data.(i) then b.data.(i) <- v
 
   let get b i = if i < b.len then b.data.(i) else 0
+  let len b = b.len
   let to_array b = Array.sub b.data 0 b.len
 end
 
 (* --- Recorder ------------------------------------------------------------ *)
 
 module Recorder = struct
-  type t = { mutable events : event list; mutable count : int }
+  type t = {
+    mutable events : event list;
+    mutable kept : int;
+    mutable dropped : int;
+    cap : int;
+  }
 
-  let create () = { events = []; count = 0 }
+  (* Unbounded retention of a big-graph trace is exactly the heap blowup
+     the streaming sink exists to avoid, so in-memory recording is capped
+     by default; callers that really want everything opt in with
+     [~cap:0]. *)
+  let default_cap = 1_000_000
+
+  let create ?(cap = default_cap) () =
+    { events = []; kept = 0; dropped = 0; cap = (if cap <= 0 then max_int else cap) }
 
   let tracer r event =
-    r.events <- event :: r.events;
-    r.count <- r.count + 1
+    if r.kept < r.cap then begin
+      r.events <- event :: r.events;
+      r.kept <- r.kept + 1
+    end
+    else r.dropped <- r.dropped + 1
 
   let events r = List.rev r.events
-  let length r = r.count
-  let to_json r = Json.List (List.rev_map event_to_json r.events)
+  let length r = r.kept
+  let dropped r = r.dropped
+
+  let to_json r =
+    let evs = List.rev_map event_to_json r.events in
+    if r.dropped = 0 then Json.List evs
+    else
+      Json.List
+        (evs
+        @ [
+            Json.Obj
+              [ ("t", Json.String "truncated"); ("dropped", Json.Int r.dropped) ];
+          ])
 end
 
 (* --- Profile ------------------------------------------------------------- *)
 
 module Profile = struct
+  type mode = Exact | Sketch of int
+
+  (* Per-edge accounting is the only O(m) part of a profile; everything
+     else is O(rounds). Exact mode keeps the historical dense counter
+     array; Sketch mode replaces it with a Space-Saving table of [budget]
+     counters plus a quantile summary of the estimates displaced from it
+     ("episodes"), so the profile of a 10^8-edge run stays resident in a
+     few pages instead of reclaiming the heap the Bigarray CSR freed. *)
+  type acc =
+    | Exact_acc of Ibuf.t  (* per host edge id, both directions summed *)
+    | Sketch_acc of {
+        ss : Sketch.Space_saving.t;
+        evicted : Sketch.Quantile.t;
+      }
+
   type t = {
-    edge_words : Ibuf.t;  (* per host edge id, both directions summed *)
+    acc : acc;
+    edge_hint : int;  (* host [Graph.m] at creation; sizes sketch exports *)
     round_words : Ibuf.t;  (* words sent in each round; index = round - 1 *)
     round_max : Ibuf.t;  (* per-round max single-edge-direction load *)
     halt_rounds : Ibuf.t;  (* nodes halting in each round *)
@@ -399,11 +443,42 @@ module Profile = struct
     mutable crashed : int;
   }
 
-  let create ?edges () =
-    let edge_words = Ibuf.create () in
-    (match edges with Some m when m > 0 -> Ibuf.ensure edge_words (m - 1) | _ -> ());
+  let sketch_threshold = 1_000_000
+  let default_budget = 4096
+  let histogram_accuracy = 0.25
+
+  let create ?mode ?edges () =
+    let mode =
+      match mode with
+      | Some m -> m
+      | None -> (
+          (* Past [sketch_threshold] host edges the dense array would
+             dominate the run's heap, so big graphs profile through the
+             default sketch budget unless the caller insists on Exact. *)
+          match edges with
+          | Some m when m > sketch_threshold -> Sketch default_budget
+          | _ -> Exact)
+    in
+    let acc =
+      match mode with
+      | Exact ->
+          let edge_words = Ibuf.create () in
+          (match edges with
+          | Some m when m > 0 -> Ibuf.ensure edge_words (m - 1)
+          | _ -> ());
+          Exact_acc edge_words
+      | Sketch budget ->
+          let evicted = Sketch.Quantile.create ~accuracy:histogram_accuracy () in
+          let ss =
+            Sketch.Space_saving.create
+              ~on_evict:(fun _key est -> Sketch.Quantile.add evicted est)
+              (max 1 budget)
+          in
+          Sketch_acc { ss; evicted }
+    in
     {
-      edge_words;
+      acc;
+      edge_hint = (match edges with Some m when m > 0 -> m | _ -> 0);
       round_words = Ibuf.create ();
       round_max = Ibuf.create ();
       halt_rounds = Ibuf.create ();
@@ -417,23 +492,43 @@ module Profile = struct
       crashed = 0;
     }
 
+  let mode p =
+    match p.acc with
+    | Exact_acc _ -> Exact
+    | Sketch_acc { ss; _ } -> Sketch (Sketch.Space_saving.capacity ss)
+
+  let account p edge words =
+    match p.acc with
+    | Exact_acc b -> Ibuf.add b edge words
+    | Sketch_acc { ss; _ } -> Sketch.Space_saving.add ss edge words
+
+  (* The event-free recording entry points: what the tracer does for
+     [Send]/[Halt]/[Round_end], callable without materializing an event —
+     the sharded simulator's per-domain shards go through these so its
+     profiled fast path allocates nothing per message. *)
+  let record_send p ~round ~edge ~words =
+    account p edge words;
+    Ibuf.add p.round_words (round - 1) words;
+    p.total_words <- p.total_words + words;
+    p.total_messages <- p.total_messages + 1;
+    if round > p.rounds then p.rounds <- round
+
+  let record_halt p ~round = Ibuf.add p.halt_rounds (round - 1) 1
+
+  let record_round p ~round ~max_edge_load =
+    Ibuf.set_max p.round_max (round - 1) max_edge_load;
+    if round > p.rounds then p.rounds <- round
+
   let tracer p = function
     | Round_start { round; _ } -> if round > p.rounds then p.rounds <- round
-    | Send { round; edge; words; _ } ->
-        Ibuf.add p.edge_words edge words;
-        Ibuf.add p.round_words (round - 1) words;
-        p.total_words <- p.total_words + words;
-        p.total_messages <- p.total_messages + 1;
-        if round > p.rounds then p.rounds <- round
-    | Halt { round; _ } -> Ibuf.add p.halt_rounds (round - 1) 1
-    | Round_end { round; max_edge_load } ->
-        Ibuf.set_max p.round_max (round - 1) max_edge_load;
-        if round > p.rounds then p.rounds <- round
+    | Send { round; edge; words; _ } -> record_send p ~round ~edge ~words
+    | Halt { round; _ } -> record_halt p ~round
+    | Round_end { round; max_edge_load } -> record_round p ~round ~max_edge_load
     (* A duplicated copy crosses the wire and is delivered, so it counts as
        traffic exactly like a Send; the other fault events are bookkeeping
        about words that did NOT flow (or nodes that died). *)
     | Duplicate { round; edge; words; _ } ->
-        Ibuf.add p.edge_words edge words;
+        account p edge words;
         Ibuf.add p.round_words (round - 1) words;
         p.total_words <- p.total_words + words;
         p.total_messages <- p.total_messages + 1;
@@ -447,12 +542,26 @@ module Profile = struct
   let rounds p = p.rounds
   let total_words p = p.total_words
   let total_messages p = p.total_messages
-  let edge_words p = Ibuf.to_array p.edge_words
+
+  let edge_words p =
+    match p.acc with
+    | Exact_acc b -> Ibuf.to_array b
+    | Sketch_acc { ss; _ } ->
+        (* Estimates for the tracked keys only (zero elsewhere), dense up
+           to the creation-time edge count so per-edge consumers
+           (Quality.traffic) see the same shape as Exact mode. *)
+        let entries = Sketch.Space_saving.entries ss in
+        let maxk = List.fold_left (fun m (k, _, _) -> max m k) (-1) entries in
+        let a = Array.make (max (maxk + 1) p.edge_hint) 0 in
+        List.iter (fun (k, est, _) -> a.(k) <- est) entries;
+        a
+
   let dropped p = p.dropped + p.link_down_drops
   let duplicated p = p.duplicated
   let delayed p = p.delayed
   let crashed p = p.crashed
   let fault_events p = p.dropped + p.link_down_drops + p.duplicated + p.delayed + p.crashed
+  let halts p = Array.fold_left ( + ) 0 (Ibuf.to_array p.halt_rounds)
 
   let load_curve p =
     let curve = Ibuf.to_array p.round_words in
@@ -465,34 +574,96 @@ module Profile = struct
     else Array.init p.rounds (Ibuf.get p.round_max)
 
   let edges_used p =
-    Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 (edge_words p)
+    match p.acc with
+    | Exact_acc _ ->
+        Array.fold_left (fun acc w -> if w > 0 then acc + 1 else acc) 0 (edge_words p)
+    | Sketch_acc { ss; evicted } ->
+        (* Tracked keys plus eviction episodes: an upper estimate (an edge
+           evicted and re-admitted is counted once per episode). *)
+        Sketch.Space_saving.size ss + Sketch.Quantile.count evicted
 
   let top_edges ?(k = 10) p =
-    let loaded = ref [] in
-    Array.iteri (fun e w -> if w > 0 then loaded := (e, w) :: !loaded) (edge_words p);
-    let sorted =
-      List.sort (fun (e1, w1) (e2, w2) -> if w1 <> w2 then compare w2 w1 else compare e1 e2)
-        !loaded
-    in
-    List.filteri (fun i _ -> i < k) sorted
+    match p.acc with
+    | Exact_acc _ ->
+        let loaded = ref [] in
+        Array.iteri (fun e w -> if w > 0 then loaded := (e, w) :: !loaded) (edge_words p);
+        let sorted =
+          List.sort
+            (fun (e1, w1) (e2, w2) -> if w1 <> w2 then compare w2 w1 else compare e1 e2)
+            !loaded
+        in
+        List.filteri (fun i _ -> i < k) sorted
+    | Sketch_acc { ss; _ } -> Sketch.Space_saving.top ~k ss
+
+  (* Equal-width bins stop carrying information once per-edge totals span
+     orders of magnitude (at a 10^8-word maximum, "bucket 1" would cover
+     1 .. 12.5 million words); past this bound the exact path switches to
+     the same octave-scaled bins the quantile sketch produces. *)
+  let equal_width_max = 1_000_000
 
   let histogram ?(buckets = 8) p =
     if buckets < 1 then invalid_arg "Trace.Profile.histogram: buckets";
-    let words = edge_words p in
-    let max_w = Array.fold_left max 0 words in
-    if max_w = 0 then []
-    else begin
-      let width = max 1 ((max_w + buckets - 1) / buckets) in
-      let nbuckets = ((max_w - 1) / width) + 1 in
-      let counts = Array.make nbuckets 0 in
-      Array.iter
-        (fun w -> if w > 0 then begin
-            let b = (w - 1) / width in
-            counts.(b) <- counts.(b) + 1
-          end)
-        words;
-      List.init nbuckets (fun b -> ((b * width) + 1, (b + 1) * width, counts.(b)))
-    end
+    match p.acc with
+    | Sketch_acc { ss; evicted } ->
+        let q = Sketch.Quantile.create ~accuracy:histogram_accuracy () in
+        Sketch.Quantile.merge_into ~into:q evicted;
+        List.iter
+          (fun (_, est, _) -> Sketch.Quantile.add q est)
+          (Sketch.Space_saving.entries ss);
+        Sketch.Quantile.buckets q
+    | Exact_acc b ->
+        let words = Ibuf.to_array b in
+        let max_w = Array.fold_left max 0 words in
+        if max_w = 0 then []
+        else if max_w > equal_width_max then begin
+          let q = Sketch.Quantile.create ~accuracy:histogram_accuracy () in
+          Array.iter (fun w -> if w > 0 then Sketch.Quantile.add q w) words;
+          Sketch.Quantile.buckets q
+        end
+        else begin
+          let width = max 1 ((max_w + buckets - 1) / buckets) in
+          let nbuckets = ((max_w - 1) / width) + 1 in
+          let counts = Array.make nbuckets 0 in
+          Array.iter
+            (fun w ->
+              if w > 0 then begin
+                let b = (w - 1) / width in
+                counts.(b) <- counts.(b) + 1
+              end)
+            words;
+          List.init nbuckets (fun b -> ((b * width) + 1, (b + 1) * width, counts.(b)))
+        end
+
+  (* Shard combination for the parallel simulator: every aggregate is a
+     sum, a max or a bucket-wise merge, so the result is independent of
+     how events were split across shards — bit-for-bit in Exact mode, up
+     to the documented sketch merge bounds in Sketch mode. *)
+  let merge_into ~into src =
+    (match (into.acc, src.acc) with
+    | Exact_acc a, Exact_acc b ->
+        if Ibuf.len b > 0 then Ibuf.ensure a (Ibuf.len b - 1);
+        Array.iteri (fun i w -> if w <> 0 then Ibuf.add a i w) (Ibuf.to_array b)
+    | Sketch_acc a, Sketch_acc b ->
+        Sketch.Space_saving.merge_into ~into:a.ss b.ss;
+        Sketch.Quantile.merge_into ~into:a.evicted b.evicted
+    | _ -> invalid_arg "Trace.Profile.merge_into: mode mismatch");
+    if Ibuf.len src.round_words > 0 then
+      Ibuf.ensure into.round_words (Ibuf.len src.round_words - 1);
+    Array.iteri
+      (fun i w -> if w <> 0 then Ibuf.add into.round_words i w)
+      (Ibuf.to_array src.round_words);
+    Array.iteri (fun i v -> Ibuf.set_max into.round_max i v) (Ibuf.to_array src.round_max);
+    Array.iteri
+      (fun i c -> if c <> 0 then Ibuf.add into.halt_rounds i c)
+      (Ibuf.to_array src.halt_rounds);
+    if src.rounds > into.rounds then into.rounds <- src.rounds;
+    into.total_words <- into.total_words + src.total_words;
+    into.total_messages <- into.total_messages + src.total_messages;
+    into.dropped <- into.dropped + src.dropped;
+    into.link_down_drops <- into.link_down_drops + src.link_down_drops;
+    into.duplicated <- into.duplicated + src.duplicated;
+    into.delayed <- into.delayed + src.delayed;
+    into.crashed <- into.crashed + src.crashed
 
   let to_json ?(top_k = 10) p =
     let pair (a, b) = Json.List [ Json.Int a; Json.Int b ] in
@@ -519,23 +690,252 @@ module Profile = struct
               ] );
         ]
     in
+    (* The Exact layout (and byte sequence) is the historical one; Sketch
+       mode prefixes a "mode" marker, reports per-entry overcount bounds
+       right next to "top_edges", and appends the sketch parameters. *)
+    let mode_prefix, overcount_field, sketch_field =
+      match p.acc with
+      | Exact_acc _ -> ([], [], [])
+      | Sketch_acc { ss; evicted } ->
+          let module Ss = Sketch.Space_saving in
+          let top = List.filteri (fun i _ -> i < top_k) (Ss.entries ss) in
+          ( [ ("mode", Json.String "sketch") ],
+            [
+              ( "top_edges_overcount",
+                Json.List (List.map (fun (_, _, err) -> Json.Int err) top) );
+            ],
+            [
+              ( "sketch",
+                Json.Obj
+                  [
+                    ("budget", Json.Int (Ss.capacity ss));
+                    ("tracked", Json.Int (Ss.size ss));
+                    ("evictions", Json.Int (Ss.evictions ss));
+                    ("max_overcount", Json.Int (Ss.max_overcount ss));
+                    ("threshold", Json.Int (Ss.threshold ss));
+                    ( "quantile_accuracy",
+                      Json.Float (Sketch.Quantile.accuracy evicted) );
+                  ] );
+            ] )
+    in
     Json.Obj
-      ([
-        ("rounds", Json.Int p.rounds);
-        ("total_words", Json.Int p.total_words);
-        ("total_messages", Json.Int p.total_messages);
-        ("edges_used", Json.Int (edges_used p));
-        ("edge_words", Json.List (List.map pair edge_pairs));
-        ("top_edges", Json.List (List.map pair (top_edges ~k:top_k p)));
-        ("load_curve", int_array (load_curve p));
-        ("round_max_load", int_array (round_max_load p));
-        ( "histogram",
-          Json.List
-            (List.map
-               (fun (lo, hi, count) ->
-                 Json.Obj
-                   [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
-               (histogram p)) );
-      ]
+      (mode_prefix
+      @ [
+          ("rounds", Json.Int p.rounds);
+          ("total_words", Json.Int p.total_words);
+          ("total_messages", Json.Int p.total_messages);
+          ("edges_used", Json.Int (edges_used p));
+          ("edge_words", Json.List (List.map pair edge_pairs));
+          ("top_edges", Json.List (List.map pair (top_edges ~k:top_k p)));
+        ]
+      @ overcount_field
+      @ [
+          ("load_curve", int_array (load_curve p));
+          ("round_max_load", int_array (round_max_load p));
+          ( "histogram",
+            Json.List
+              (List.map
+                 (fun (lo, hi, count) ->
+                   Json.Obj
+                     [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
+                 (histogram p)) );
+        ]
+      @ sketch_field
       @ fault_fields)
+end
+
+(* --- Flight recorder ------------------------------------------------------ *)
+
+(* Periodic compact snapshots of a live run: enough to see where a long
+   big-graph run is and what it is congesting on, without any per-event
+   retention. Snapshots travel on the same line-delimited stream as
+   events ([{"t": "snapshot", ...}] lines) and are surfaced by
+   [lcs_cli top]. *)
+module Flight = struct
+  type snapshot = {
+    round : int;
+    words : int;  (* cumulative *)
+    messages : int;  (* cumulative *)
+    halted : int;  (* nodes halted so far *)
+    top : (int * int) list;  (* current heavy hitters, (edge, words) *)
+    queues : int array;  (* per-domain pending deliveries; [||] when serial *)
+  }
+
+  let to_json s =
+    Json.Obj
+      [
+        ("t", Json.String "snapshot");
+        ("round", Json.Int s.round);
+        ("words", Json.Int s.words);
+        ("messages", Json.Int s.messages);
+        ("halted", Json.Int s.halted);
+        ( "top",
+          Json.List
+            (List.map (fun (e, w) -> Json.List [ Json.Int e; Json.Int w ]) s.top) );
+        ( "queues",
+          Json.List (Array.to_list (Array.map (fun q -> Json.Int q) s.queues)) );
+      ]
+
+  let of_json j =
+    let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+    let int key =
+      match Json.member key j with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "snapshot field %S missing or not an integer" key)
+    in
+    let* round = int "round" in
+    let* words = int "words" in
+    let* messages = int "messages" in
+    let* halted = int "halted" in
+    let* top =
+      match Json.member "top" j with
+      | Some (Json.List l) ->
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              match v with
+              | Json.List [ Json.Int e; Json.Int w ] -> Ok ((e, w) :: acc)
+              | _ -> Error "snapshot \"top\" entry is not an [edge, words] pair")
+            (Ok []) l
+          |> Result.map List.rev
+      | _ -> Error "snapshot has no \"top\" list"
+    in
+    let* queues =
+      match Json.member "queues" j with
+      | Some (Json.List l) ->
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              match v with
+              | Json.Int q -> Ok (q :: acc)
+              | _ -> Error "snapshot \"queues\" entry is not an integer")
+            (Ok []) l
+          |> Result.map (fun l -> Array.of_list (List.rev l))
+      | _ -> Error "snapshot has no \"queues\" list"
+    in
+    Ok { round; words; messages; halted; top; queues }
+
+  let of_profile ?(k = 10) ?(queues = [||]) ~round p =
+    {
+      round;
+      words = Profile.total_words p;
+      messages = Profile.total_messages p;
+      halted = Profile.halts p;
+      top = Profile.top_edges ~k p;
+      queues;
+    }
+
+  (* Serial-side channel: tee this after the profile's own tracer so a
+     snapshot taken at [Round_end] sees that round's sends. *)
+  let observer ~every ?(k = 10) p emit : tracer =
+   fun ev ->
+    match ev with
+    | Round_end { round; _ } when every > 0 && round mod every = 0 ->
+        emit (of_profile ~k ~round p)
+    | _ -> ()
+end
+
+(* --- Streaming sink / reader --------------------------------------------- *)
+
+module Stream = struct
+  let schema = "lcs-trace-stream/1"
+
+  type sink = {
+    oc : out_channel;
+    mutable events : int;
+    mutable snapshots : int;
+    mutable closed : bool;
+  }
+
+  let write_line sink j =
+    output_string sink.oc (Json.to_string ~minify:true j);
+    output_char sink.oc '\n'
+
+  let of_channel ?(meta = []) oc =
+    let sink = { oc; events = 0; snapshots = 0; closed = false } in
+    write_line sink (Json.Obj (("schema", Json.String schema) :: meta));
+    sink
+
+  let create ?meta path = of_channel ?meta (open_out_bin path)
+
+  let tracer sink ev =
+    sink.events <- sink.events + 1;
+    write_line sink (event_to_json ev)
+
+  let snapshot sink s =
+    sink.snapshots <- sink.snapshots + 1;
+    write_line sink (Flight.to_json s)
+
+  let events_written sink = sink.events
+  let snapshots_written sink = sink.snapshots
+
+  let close sink =
+    if not sink.closed then begin
+      sink.closed <- true;
+      close_out sink.oc
+    end
+
+  type line =
+    | Meta of Json.t
+    | Event of event
+    | Snapshot of Flight.snapshot
+    | Truncated of int
+
+  let parse_line j =
+    match Json.member "t" j with
+    | Some (Json.String "snapshot") ->
+        Result.map (fun s -> Snapshot s) (Flight.of_json j)
+    | Some (Json.String "truncated") -> (
+        match Json.member "dropped" j with
+        | Some (Json.Int n) -> Ok (Truncated n)
+        | _ -> Error "truncated marker without a \"dropped\" count")
+    | Some _ -> Result.map (fun e -> Event e) (event_of_json j)
+    | None -> (
+        match Json.member "schema" j with
+        | Some (Json.String s) when s = schema -> Ok (Meta j)
+        | Some (Json.String s) -> Error ("unexpected stream schema " ^ s)
+        | _ -> Error "line is neither an event, a snapshot nor a stream header")
+
+  (* One line at a time — memory stays O(longest line) however large the
+     file. The fold stops at the first malformed line and reports its
+     number; a trailing partial line (a run killed mid-write) therefore
+     surfaces as an error rather than silent truncation. *)
+  let fold path ~init ~f =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let lineno = ref 0 in
+            let rec loop acc =
+              match input_line ic with
+              | exception End_of_file -> Ok acc
+              | "" ->
+                  incr lineno;
+                  loop acc
+              | line -> (
+                  incr lineno;
+                  match Json.of_string line with
+                  | Error e -> Error (Printf.sprintf "line %d: %s" !lineno e)
+                  | Ok j -> (
+                      match parse_line j with
+                      | Error e -> Error (Printf.sprintf "line %d: %s" !lineno e)
+                      | Ok l -> loop (f acc l)))
+            in
+            loop init)
+
+  let replay ?on_meta ?on_snapshot path tr =
+    fold path ~init:0 ~f:(fun n l ->
+        match l with
+        | Event e ->
+            tr e;
+            n + 1
+        | Snapshot s ->
+            (match on_snapshot with Some f -> f s | None -> ());
+            n
+        | Meta j ->
+            (match on_meta with Some f -> f j | None -> ());
+            n
+        | Truncated _ -> n)
 end

@@ -149,29 +149,85 @@ module Cause : sig
       called exactly once per outgoing message, in outbox order. *)
 end
 
-(** Retains the full event stream, in order. *)
+(** Retains the event stream in memory, in order, up to a cap.
+
+    In-memory retention of a big-graph trace is unbounded heap growth by
+    design; use {!Stream} to spill to disk instead. The recorder
+    therefore caps itself at {!default_cap} events unless told otherwise
+    and counts what it dropped. *)
 module Recorder : sig
   type t
 
-  val create : unit -> t
+  val default_cap : int
+  (** 1e6 events — roughly a hundred MB of retained list cells, the most
+      an interactive report should ever hold. *)
+
+  val create : ?cap:int -> unit -> t
+  (** Events beyond [cap] (default {!default_cap}) are counted, not
+      retained. [cap <= 0] means unbounded — the pre-streaming behavior,
+      now opt-in. *)
+
   val tracer : t -> tracer
+
   val events : t -> event list
+  (** The retained events, oldest first. *)
+
   val length : t -> int
+  (** Retained events; [length t <= cap]. *)
+
+  val dropped : t -> int
+  (** Events past the cap that were counted and discarded. *)
 
   val to_json : t -> Lcs_util.Json.t
-  (** The events as a JSON array. *)
+  (** The retained events as a JSON array. When events were dropped, one
+      final [{"t": "truncated", "dropped": n}] marker object is appended
+      so consumers can tell a capped trace from a complete one (the
+      analyzer and the stream reader skip it). *)
 end
 
-(** Incremental per-edge / per-round congestion aggregation: O(edges +
-    rounds) memory however long the trace. *)
+(** Incremental per-edge / per-round congestion aggregation.
+
+    [Exact] mode keeps one counter per host edge — O(edges + rounds)
+    memory however long the trace, and the historical byte-identical JSON
+    layout. [Sketch] mode replaces the per-edge array with a
+    {!Lcs_util.Sketch.Space_saving} table of [budget] counters (plus a
+    quantile summary of evicted estimates), so per-edge accounting costs
+    O(budget) on graphs where O(m) is the problem; its JSON report
+    carries the sketch's deterministic error bounds alongside
+    [top_edges]. *)
 module Profile : sig
   type t
 
-  val create : ?edges:int -> unit -> t
-  (** [edges] (the host's [Graph.m]) pre-sizes the per-edge accumulator;
-      it grows on demand either way. *)
+  type mode = Exact | Sketch of int  (** budget: tracked-edge counters *)
+
+  val sketch_threshold : int
+  (** Edge count above which {!create} auto-selects [Sketch
+      default_budget] when no explicit mode is given (10^6). *)
+
+  val default_budget : int
+  (** Budget of the auto-selected sketch (4096): overcounts are bounded
+      by [total words / 4096]. *)
+
+  val create : ?mode:mode -> ?edges:int -> unit -> t
+  (** [edges] (the host's [Graph.m]) pre-sizes the per-edge accumulator
+      in [Exact] mode; it grows on demand either way. When [mode] is
+      omitted it defaults to [Exact], except that [edges >
+      sketch_threshold] auto-selects [Sketch default_budget]. *)
+
+  val mode : t -> mode
 
   val tracer : t -> tracer
+
+  (** {2 Event-free recording}
+
+      What {!tracer} does for the three hot event kinds, callable without
+      materializing an event — the sharded simulator's per-domain shards
+      feed through these so profiled parallel runs allocate nothing per
+      message. *)
+
+  val record_send : t -> round:int -> edge:int -> words:int -> unit
+  val record_halt : t -> round:int -> unit
+  val record_round : t -> round:int -> max_edge_load:int -> unit
 
   val rounds : t -> int
   val total_words : t -> int
@@ -181,10 +237,15 @@ module Profile : sig
   val total_messages : t -> int
 
   val edge_words : t -> int array
-  (** Words carried per host edge id (both directions summed). *)
+  (** Words carried per host edge id (both directions summed). In
+      [Sketch] mode: estimates for the tracked edges only (zero
+      elsewhere), dense up to [create]'s [edges] hint so per-edge
+      consumers see the same shape as [Exact] mode. *)
 
   val edges_used : t -> int
-  (** Edges that carried at least one word. *)
+  (** Edges that carried at least one word. In [Sketch] mode an upper
+      estimate: tracked edges plus eviction episodes (an edge displaced
+      and re-admitted counts once per episode). *)
 
   val load_curve : t -> int array
   (** Words sent in round [r] at index [r - 1] — the per-round load
@@ -196,12 +257,30 @@ module Profile : sig
 
   val top_edges : ?k:int -> t -> (int * int) list
   (** The [k] (default 10) hottest edges as [(edge, words)], heaviest
-      first, ties by edge id. *)
+      first, ties by edge id. In [Sketch] mode these are Space-Saving
+      estimates: each may exceed the truth by at most its entry's
+      overcount (exported in the JSON report), and every edge whose true
+      load exceeds [total_words / budget] is guaranteed present. *)
 
   val histogram : ?buckets:int -> t -> (int * int * int) list
   (** Distribution of per-edge totals over edges with traffic:
-      [(lo, hi, count)] with inclusive word-count ranges, [buckets]
-      (default 8) equal-width bins. Empty when nothing was sent. *)
+      [(lo, hi, count)] with inclusive word-count ranges. Up to a maximum
+      of 10^6 words in [Exact] mode: [buckets] (default 8) equal-width
+      bins, byte-compatible with historical reports. Beyond that — where
+      equal widths collapse into one uninformative slab — and always in
+      [Sketch] mode: octave-scaled bins from the quantile sketch
+      (non-empty ones only, ascending). Empty when nothing was sent. *)
+
+  val halts : t -> int
+  (** Total nodes observed halting. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Fold [src]'s aggregates into [into]: sums, maxima and sketch
+      merges, so combining per-domain shards in any grouping yields the
+      same profile as one collector fed the whole run — bit-for-bit in
+      [Exact] mode, within the documented merge bounds in [Sketch] mode.
+      Both profiles must have the same mode (raises [Invalid_argument]
+      otherwise). *)
 
   val dropped : t -> int
   (** Transmissions lost to injected faults (random loss + down links). *)
@@ -223,5 +302,110 @@ module Profile : sig
 
   val to_json : ?top_k:int -> t -> Lcs_util.Json.t
   (** The whole profile — totals, per-edge words, top-[k] edges, load
-      curve, per-round high-water marks, histogram. *)
+      curve, per-round high-water marks, histogram. [Exact] fault-free
+      profiles keep the historical byte layout; [Sketch] profiles lead
+      with a ["mode": "sketch"] marker, report per-entry
+      ["top_edges_overcount"] bounds next to ["top_edges"], and append a
+      ["sketch"] object (budget, tracked, evictions, max_overcount,
+      threshold, quantile_accuracy). *)
+end
+
+(** Periodic compact snapshots of a live run — the flight recorder.
+
+    Every [N] rounds a snapshot of the run's vital signs (round,
+    cumulative words and messages, halt count, current heavy hitters,
+    per-domain queue depths) is emitted; streamed to disk these cost a
+    line per sample however long the run, and [lcs_cli top] renders them
+    post hoc. The serial cores emit snapshots through {!observer}; the
+    sharded core fills in per-domain queue depths at its round
+    barrier. *)
+module Flight : sig
+  type snapshot = {
+    round : int;
+    words : int;  (** cumulative words sent *)
+    messages : int;  (** cumulative messages sent *)
+    halted : int;  (** nodes halted so far *)
+    top : (int * int) list;  (** current heavy hitters as [(edge, words)] *)
+    queues : int array;
+        (** pending deliveries per domain at the snapshot round's barrier;
+            [[||]] for serial sources *)
+  }
+
+  val to_json : snapshot -> Lcs_util.Json.t
+  (** A [{"t": "snapshot", ...}] object — one {!Stream} line. *)
+
+  val of_json : Lcs_util.Json.t -> (snapshot, string) result
+
+  val of_profile : ?k:int -> ?queues:int array -> round:int -> Profile.t -> snapshot
+  (** Read the vital signs out of a live profile; [k] (default 10) bounds
+      the heavy-hitter list. *)
+
+  val observer : every:int -> ?k:int -> Profile.t -> (snapshot -> unit) -> tracer
+  (** Emit a snapshot of [p] at every [every]-th [Round_end]. Tee this
+      {e after} the profile's own tracer so the snapshot sees the round
+      it closes. *)
+end
+
+(** Line-delimited streaming of traces to disk (schema
+    [lcs-trace-stream/1]).
+
+    A streamed trace file is one JSON object per line: a header line
+    [{"schema": "lcs-trace-stream/1", ...metadata}], then events in
+    order (the {!event_to_json} objects), interleaved with optional
+    {!Flight} snapshot lines. The sink holds only an [out_channel]
+    buffer — resident memory is O(1) in the trace length — and the
+    reader replays a file into any {!tracer} one line at a time, so
+    every existing collector ({!Profile}, {!Recorder}, the analyzer)
+    consumes streamed traces without loading them whole. *)
+module Stream : sig
+  val schema : string
+  (** ["lcs-trace-stream/1"]. *)
+
+  (** {2 Writing} *)
+
+  type sink
+
+  val create : ?meta:(string * Lcs_util.Json.t) list -> string -> sink
+  (** Open (truncate) a file and write the header line; [meta] fields
+      (say [command], [n], [m], [seed]) are appended to it. *)
+
+  val of_channel : ?meta:(string * Lcs_util.Json.t) list -> out_channel -> sink
+  (** Same, on an already-open channel (the sink closes it). *)
+
+  val tracer : sink -> tracer
+  (** Append one event line per event. *)
+
+  val snapshot : sink -> Flight.snapshot -> unit
+  (** Append a snapshot line. *)
+
+  val events_written : sink -> int
+
+  val snapshots_written : sink -> int
+
+  val close : sink -> unit
+  (** Flush and close; idempotent. A sink left unclosed loses its channel
+      buffer's tail. *)
+
+  (** {2 Reading} *)
+
+  type line =
+    | Meta of Lcs_util.Json.t  (** the header object *)
+    | Event of event
+    | Snapshot of Flight.snapshot
+    | Truncated of int  (** a {!Recorder} truncation marker *)
+
+  val fold : string -> init:'a -> f:('a -> line -> 'a) -> ('a, string) result
+  (** Fold over a streamed file line by line — memory stays O(longest
+      line). Stops at the first malformed line with its line number, so a
+      file cut off mid-write surfaces as an [Error], not silence. *)
+
+  val replay :
+    ?on_meta:(Lcs_util.Json.t -> unit) ->
+    ?on_snapshot:(Flight.snapshot -> unit) ->
+    string ->
+    tracer ->
+    (int, string) result
+  (** Replay a streamed file's events, in order, into a tracer; returns
+      the number of events replayed. Snapshot and header lines go to the
+      optional callbacks instead. *)
 end

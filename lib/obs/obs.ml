@@ -1,6 +1,7 @@
 module Json = Lcs_util.Json
 module Stats = Lcs_util.Stats
 module Table = Lcs_util.Table
+module Sketch = Lcs_util.Sketch
 
 type value = Int of int | Float of float | Str of string
 

@@ -21,6 +21,12 @@
     raises: a mismatched {!exit} is ignored, an exception inside {!span}
     still closes the span. *)
 
+module Sketch = Lcs_util.Sketch
+(** Bounded-memory streaming summaries (Space-Saving heavy hitters and the
+    relative-accuracy quantile sketch), re-exported so observability
+    consumers find them next to spans and metrics. See
+    {!Lcs_util.Sketch}. *)
+
 type t
 (** A recording collector: an open-span stack, the completed-span list,
     the metrics registry and the ledger. *)

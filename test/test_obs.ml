@@ -245,8 +245,142 @@ let summary_to_json_fields () =
       check Alcotest.bool (key ^ " present") true (Json.member key doc <> None))
     [ "count"; "mean"; "stddev"; "min"; "max"; "p50"; "p90"; "p99" ]
 
+(* --- bounded-memory sketches (Obs.Sketch re-export) ---------------------- *)
+
+module Ss = Obs.Sketch.Space_saving
+module Qn = Obs.Sketch.Quantile
+
+let exact_counts stream =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (k, w) ->
+      Hashtbl.replace tbl k (w + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    stream;
+  tbl
+
+let stream_gen = QCheck.(list (pair (int_bound 50) (int_range 1 20)))
+
+(* When the distinct keys fit the budget Space-Saving degenerates to exact
+   counting: no evictions, zero overcounts. *)
+let ss_exact_under_budget =
+  QCheck.Test.make ~name:"space-saving: exact when keys fit the budget"
+    ~count:200
+    QCheck.(list (pair (int_bound 7) (int_range 1 9)))
+    (fun stream ->
+      let ss = Ss.create 8 in
+      List.iter (fun (k, w) -> Ss.add ss k w) stream;
+      let tbl = exact_counts stream in
+      Ss.evictions ss = 0
+      && Ss.max_overcount ss = 0
+      && List.for_all
+           (fun (k, est, err) -> err = 0 && Hashtbl.find_opt tbl k = Some est)
+           (Ss.entries ss))
+
+(* The deterministic Space-Saving bounds, against brute-force counts:
+   est - err <= truth <= est for every tracked key, and every key whose
+   true count exceeds total/budget is guaranteed tracked — the superset
+   half of the top-k guarantee. *)
+let ss_bounds_hold =
+  QCheck.Test.make ~name:"space-saving: overcount bounds + heavy hitters"
+    ~count:300 stream_gen
+    (fun stream ->
+      let cap = 8 in
+      let ss = Ss.create cap in
+      List.iter (fun (k, w) -> Ss.add ss k w) stream;
+      let tbl = exact_counts stream in
+      let total = List.fold_left (fun a (_, w) -> a + w) 0 stream in
+      let entries = Ss.entries ss in
+      let tracked k = List.exists (fun (k', _, _) -> k' = k) entries in
+      Ss.total ss = total
+      && List.for_all
+           (fun (k, est, err) ->
+             let truth = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+             est - err <= truth && truth <= est)
+           entries
+      && Hashtbl.fold
+           (fun k truth ok -> ok && (truth * cap <= total || tracked k))
+           tbl true)
+
+(* Merging keeps the bracket: the lower bound est - err <= truth survives
+   verbatim, the upper bound weakens by at most the source sketches'
+   pre-merge thresholds (mass their untracked keys left behind). *)
+let ss_merge_sound =
+  QCheck.Test.make ~name:"space-saving: merge keeps its error bracket"
+    ~count:200
+    QCheck.(pair stream_gen stream_gen)
+    (fun (s1, s2) ->
+      let a = Ss.create 8 and b = Ss.create 8 in
+      List.iter (fun (k, w) -> Ss.add a k w) s1;
+      List.iter (fun (k, w) -> Ss.add b k w) s2;
+      let slack = Ss.threshold a + Ss.threshold b in
+      Ss.merge_into ~into:a b;
+      let tbl = exact_counts (s1 @ s2) in
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 (s1 @ s2) in
+      Ss.total a = total
+      && List.for_all
+           (fun (k, est, err) ->
+             let truth = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+             est - err <= truth && truth <= est + slack)
+           (Ss.entries a))
+
+let qn_values_gen = QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 2_000_000))
+
+(* Quantile estimates land in the bucket holding the true ranked value, so
+   the error is bounded by the bucket width: value-relative [accuracy]
+   (plus one for the integer midpoint). *)
+let qn_relative_error =
+  QCheck.Test.make ~name:"quantile: estimates within relative accuracy"
+    ~count:200 qn_values_gen
+    (fun vs ->
+      let q = Qn.create ~accuracy:0.05 () in
+      List.iter (Qn.add q) vs;
+      let arr = Array.of_list (List.sort compare vs) in
+      let n = Array.length arr in
+      let acc = Qn.accuracy q in
+      List.for_all
+        (fun p ->
+          let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+          let truth = arr.(rank - 1) in
+          let est = Qn.quantile q p in
+          abs_float (float_of_int (est - truth))
+          <= (acc *. float_of_int truth) +. 1.)
+        [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ])
+
+(* The integer log-bucketing makes merging an exact bucket-wise sum: a
+   merged sketch is indistinguishable from one fed the concatenation. *)
+let qn_merge_exact =
+  QCheck.Test.make ~name:"quantile: shard-merge equals single-stream"
+    ~count:200
+    QCheck.(pair (list (int_range 0 2_000_000)) (list (int_range 0 2_000_000)))
+    (fun (v1, v2) ->
+      let a = Qn.create ~accuracy:0.05 ()
+      and b = Qn.create ~accuracy:0.05 ()
+      and whole = Qn.create ~accuracy:0.05 () in
+      List.iter (Qn.add a) v1;
+      List.iter (Qn.add b) v2;
+      List.iter (Qn.add whole) (v1 @ v2);
+      Qn.merge_into ~into:a b;
+      Qn.buckets a = Qn.buckets whole
+      && Qn.count a = Qn.count whole
+      && Qn.sum a = Qn.sum whole
+      && (Qn.count whole = 0
+         || Qn.min_value a = Qn.min_value whole
+            && Qn.max_value a = Qn.max_value whole
+            && List.for_all
+                 (fun p -> Qn.quantile a p = Qn.quantile whole p)
+                 [ 0.1; 0.5; 0.9 ]))
+
 let props =
-  List.map QCheck_alcotest.to_alcotest [ spans_well_nested; percentiles_monotone ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      spans_well_nested;
+      percentiles_monotone;
+      ss_exact_under_budget;
+      ss_bounds_hold;
+      ss_merge_sound;
+      qn_relative_error;
+      qn_merge_exact;
+    ]
 
 let suite =
   [

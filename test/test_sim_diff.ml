@@ -397,6 +397,44 @@ let profile_bytes_across_domains () =
   check_case "fault-free" ();
   check_case "faulty" ~plan:(gen_plan 4242 ~n:24 ~m:(Graph.m g)) ()
 
+(* The sharded profiled entry point: per-domain profile shards merged at
+   the round barrier must reproduce the single-domain run exactly —
+   byte-identical profile JSON, identical states, and identical flight
+   snapshots (modulo the per-domain queue column, whose width is the
+   domain count by construction). *)
+let run_profiled_parallel_bytes () =
+  let g = random_connected_graph 777 ~n:32 ~extra:20 in
+  let run d =
+    let snaps = ref [] in
+    let states, stats =
+      Simulator_par.run_profiled ~domains:d ~bandwidth:2
+        ~flight:(2, fun s -> snaps := s :: !snaps)
+        g
+        (gossip ~pseed:97 ~bw:2)
+    in
+    let vitals =
+      List.rev_map
+        (fun s ->
+          Trace.Flight.
+            (s.round, s.words, s.messages, s.halted, s.top))
+        !snaps
+    in
+    (states, Json.to_string (Trace.Profile.to_json stats.Simulator.profile), vitals, d)
+  in
+  let base_states, base_json, base_vitals, _ = run 1 in
+  List.iter
+    (fun d ->
+      let states, json, vitals, _ = run d in
+      check Alcotest.bool (Printf.sprintf "states equal, domains=%d" d) true
+        (states = base_states);
+      check Alcotest.string (Printf.sprintf "profile bytes, domains=%d" d)
+        base_json json;
+      check Alcotest.bool (Printf.sprintf "flight vitals equal, domains=%d" d)
+        true
+        (vitals = base_vitals))
+    [ 2; 4 ];
+  check Alcotest.bool "flight recorder actually fired" true (base_vitals <> [])
+
 (* Crash-at-round of a node whose pending delayed deliveries originate in
    a DIFFERENT shard: for each swept domain count, the sender sits just
    below the first shard boundary and the victim just above it, so the
@@ -496,6 +534,7 @@ let suite =
     case "bandwidth exception parity" `Quick bandwidth_parity;
     case "crash purges delayed deliveries" `Quick crash_purges_delayed;
     case "profile bytes identical across domains" `Quick profile_bytes_across_domains;
+    case "run_profiled shards merge bit-exactly" `Quick run_profiled_parallel_bytes;
     case "cross-shard crash purges foreign deliveries" `Quick cross_shard_crash_purge;
     case "cross-shard generator sanity" `Quick cross_shard_graph_is_cross;
   ]

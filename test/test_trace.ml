@@ -265,6 +265,202 @@ let outcome_json () =
   | Some (Json.String "E0"), Some (Json.List [ Json.String "n" ]) -> ()
   | _ -> Alcotest.fail "outcome fields wrong"
 
+(* --- bounded recorder / streaming sink / sketch profiles ----------------- *)
+
+let send ~edge ~words =
+  Trace.Send
+    {
+      round = 1;
+      src = 0;
+      dst = 1;
+      edge;
+      words;
+      id = 0;
+      parents = [];
+      part = 0;
+      phase = "";
+    }
+
+let recorder_cap_drops () =
+  let r = Trace.Recorder.create ~cap:5 () in
+  let t = Trace.Recorder.tracer r in
+  for round = 1 to 9 do
+    t (Trace.Round_start { round; live = 1 })
+  done;
+  check Alcotest.int "kept at the cap" 5 (Trace.Recorder.length r);
+  check Alcotest.int "overflow counted" 4 (Trace.Recorder.dropped r);
+  check Alcotest.int "kept events are the earliest" 5
+    (List.length (Trace.Recorder.events r));
+  (match Trace.Recorder.to_json r with
+  | Json.List items -> (
+      check Alcotest.int "json keeps events + marker" 6 (List.length items);
+      match List.nth items 5 with
+      | Json.Obj _ as marker ->
+          check Alcotest.bool "marker tagged truncated" true
+            (Json.member "t" marker = Some (Json.String "truncated"));
+          check Alcotest.bool "marker carries the count" true
+            (Json.member "dropped" marker = Some (Json.Int 4))
+      | _ -> Alcotest.fail "last item is not the truncation marker")
+  | _ -> Alcotest.fail "recorder json is not a list");
+  (* An uncapped recorder emits no marker. *)
+  let r0 = Trace.Recorder.create ~cap:0 () in
+  for round = 1 to 9 do
+    Trace.Recorder.tracer r0 (Trace.Round_start { round; live = 1 })
+  done;
+  check Alcotest.int "cap:0 keeps everything" 9 (Trace.Recorder.length r0);
+  match Trace.Recorder.to_json r0 with
+  | Json.List items -> check Alcotest.int "no marker when nothing dropped" 9 (List.length items)
+  | _ -> Alcotest.fail "recorder json is not a list"
+
+let stream_roundtrip () =
+  let path = Filename.temp_file "lcs_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let g, sc = grid_shortcut () in
+      let values = Array.init (Graph.n g) (fun v -> (v * 7) mod 101) in
+      let recorder = Trace.Recorder.create () in
+      let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+      let sink =
+        Trace.Stream.create ~meta:[ ("m", Json.Int (Graph.m g)) ] path
+      in
+      let tracer =
+        Trace.tee
+          [
+            Trace.Recorder.tracer recorder;
+            Trace.Profile.tracer profile;
+            Trace.Stream.tracer sink;
+          ]
+      in
+      let _out = Sim_aggregate.minimum ~tracer (Rng.create 9) sc ~values in
+      Trace.Stream.snapshot sink
+        (Trace.Flight.of_profile ~round:(Trace.Profile.rounds profile) profile);
+      Trace.Stream.close sink;
+      check Alcotest.int "sink saw every event"
+        (Trace.Recorder.length recorder)
+        (Trace.Stream.events_written sink);
+      check Alcotest.int "one snapshot line" 1 (Trace.Stream.snapshots_written sink);
+      (* Replay the file into a fresh recorder: same events, in order, and
+         the header / snapshot lines land in their callbacks. *)
+      let replayed = Trace.Recorder.create () in
+      let metas = ref 0 and snaps = ref [] in
+      (match
+         Trace.Stream.replay
+           ~on_meta:(fun j ->
+             incr metas;
+             check Alcotest.bool "header keeps caller meta" true
+               (Json.member "m" j = Some (Json.Int (Graph.m g))))
+           ~on_snapshot:(fun s -> snaps := s :: !snaps)
+           path
+           (Trace.Recorder.tracer replayed)
+       with
+      | Ok n ->
+          check Alcotest.int "replay count" (Trace.Recorder.length recorder) n
+      | Error msg -> Alcotest.fail msg);
+      check Alcotest.int "one header" 1 !metas;
+      (match !snaps with
+      | [ s ] ->
+          check Alcotest.int "snapshot words" (Trace.Profile.total_words profile)
+            s.Trace.Flight.words;
+          check Alcotest.int "snapshot round" (Trace.Profile.rounds profile)
+            s.Trace.Flight.round
+      | _ -> Alcotest.fail "expected exactly one snapshot");
+      check Alcotest.bool "events identical after the disk round-trip" true
+        (Trace.Recorder.events recorder = Trace.Recorder.events replayed);
+      (* A profile rebuilt from the replayed events matches the live one
+         byte-for-byte — the property `lcs top` depends on. *)
+      let rebuilt = Trace.Profile.create ~edges:(Graph.m g) () in
+      List.iter (Trace.Profile.tracer rebuilt) (Trace.Recorder.events replayed);
+      check Alcotest.string "profile rebuilt from stream is byte-identical"
+        (Json.to_string (Trace.Profile.to_json profile))
+        (Json.to_string (Trace.Profile.to_json rebuilt)))
+
+let profile_sketch_mode () =
+  (* Same event stream through both accounting modes: with the budget
+     above the distinct-edge count the sketch is exact, so every exported
+     aggregate agrees and only the sketch metadata differs. *)
+  let events =
+    Trace.Round_start { round = 1; live = 2 }
+    :: List.map
+         (fun (edge, words) -> send ~edge ~words)
+         [ (0, 5); (1, 9); (2, 2); (3, 7); (0, 4); (2, 1) ]
+    @ [ Trace.Round_end { round = 1; max_edge_load = 9 } ]
+  in
+  let exact = Trace.Profile.create ~mode:Trace.Profile.Exact ~edges:4 () in
+  let sketch = Trace.Profile.create ~mode:(Trace.Profile.Sketch 8) ~edges:4 () in
+  List.iter
+    (fun p -> List.iter (Trace.Profile.tracer p) events)
+    [ exact; sketch ];
+  check Alcotest.int "same words" (Trace.Profile.total_words exact)
+    (Trace.Profile.total_words sketch);
+  check Alcotest.bool "same top edges" true
+    (Trace.Profile.top_edges ~k:4 exact = Trace.Profile.top_edges ~k:4 sketch);
+  check Alcotest.bool "same dense export" true
+    (Trace.Profile.edge_words exact = Trace.Profile.edge_words sketch);
+  check Alcotest.int "sketch export matches edge count" 4
+    (Array.length (Trace.Profile.edge_words sketch));
+  let ejson = Trace.Profile.to_json exact
+  and sjson = Trace.Profile.to_json sketch in
+  check Alcotest.bool "exact json omits sketch fields" true
+    (Json.member "sketch" ejson = None && Json.member "mode" ejson = None);
+  check Alcotest.bool "sketch json declares its mode" true
+    (Json.member "mode" sjson = Some (Json.String "sketch"));
+  check Alcotest.bool "sketch json exports error bounds" true
+    (match (Json.member "sketch" sjson, Json.member "top_edges_overcount" sjson) with
+    | Some (Json.Obj fields), Some (Json.List _) ->
+        List.mem_assoc "budget" fields
+        && List.mem_assoc "max_overcount" fields
+        && List.mem_assoc "threshold" fields
+    | _ -> false);
+  (* Mode auto-selection: a huge host graph flips to sketching, a small
+     one stays exact. *)
+  (match Trace.Profile.mode (Trace.Profile.create ~edges:1_000_001 ()) with
+  | Trace.Profile.Sketch b -> check Alcotest.bool "default budget positive" true (b > 0)
+  | Trace.Profile.Exact -> Alcotest.fail "huge graph should auto-select sketching");
+  match Trace.Profile.mode (Trace.Profile.create ~edges:100 ()) with
+  | Trace.Profile.Exact -> ()
+  | Trace.Profile.Sketch _ -> Alcotest.fail "small graph should stay exact"
+
+let histogram_bucket_widths () =
+  (* Small range: equal-width bins, contiguous from 1, covering every
+     loaded edge exactly once. *)
+  let feed edges_words =
+    let p = Trace.Profile.create ~edges:(List.length edges_words) () in
+    List.iteri
+      (fun edge words -> Trace.Profile.tracer p (send ~edge ~words))
+      edges_words;
+    p
+  in
+  let small = feed [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let hist = Trace.Profile.histogram ~buckets:4 small in
+  check Alcotest.int "small: bucket count" 4 (List.length hist);
+  check Alcotest.bool "small: equal widths" true
+    (List.for_all (fun (lo, hi, _) -> hi - lo = 1) hist);
+  check Alcotest.int "small: covers all edges" 8
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 hist);
+  (* Word totals spanning orders of magnitude: equal-width bins would put
+     everything except the maximum in bucket one, so the exact path must
+     switch to octave-scaled bins — several non-degenerate buckets, still
+     a partition of the loaded edges. *)
+  let values = [ 1; 1000; 2_000_000; 9_999_999 ] in
+  let wide = feed values in
+  let whist = Trace.Profile.histogram ~buckets:4 wide in
+  check Alcotest.bool "wide: more than one occupied bucket" true
+    (List.length (List.filter (fun (_, _, c) -> c > 0) whist) >= 3);
+  check Alcotest.int "wide: covers all edges" (List.length values)
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 whist);
+  check Alcotest.bool "wide: bounds ordered and ascending" true
+    (let rec ok = function
+       | (lo, hi, _) :: ((lo', _, _) :: _ as rest) -> lo <= hi && hi < lo' + 1 && ok rest
+       | [ (lo, hi, _) ] -> lo <= hi
+       | [] -> true
+     in
+     ok whist);
+  check Alcotest.bool "wide: every value falls in a bucket" true
+    (List.for_all
+       (fun v -> List.exists (fun (lo, hi, _) -> lo <= v && v <= hi) whist)
+       values)
+
 let suite =
   [
     case "tracing transparent: sync bfs" `Quick tracing_is_transparent_bfs;
@@ -274,6 +470,10 @@ let suite =
     case "run_profiled direct" `Quick run_profiled_direct;
     case "router tracing reconciles" `Quick router_tracing_reconciles;
     case "recorder stream well-formed" `Quick recorder_stream_well_formed;
+    case "recorder cap drops and marks" `Quick recorder_cap_drops;
+    case "stream sink round-trips" `Quick stream_roundtrip;
+    case "profile sketch mode" `Quick profile_sketch_mode;
+    case "histogram bucket widths" `Quick histogram_bucket_widths;
     case "json value round-trip" `Quick json_value_roundtrip;
     case "table json and csv" `Quick table_json_and_csv;
     case "trace json round-trip" `Quick trace_json_roundtrip;
