@@ -250,6 +250,35 @@ let traced_entries =
     make "stream/grid28" true 28 streamed;
   ]
 
+(* Parallel-profiler overhead on the sharded core: the flood broadcast
+   through Simulator_par at 2 domains, with the Par_profile collector
+   detached (off — the row the allocation gate protects: every
+   instrumentation point must stay behind a [match ... with None -> ()]
+   branch, so the off path allocates exactly what it did before the
+   profiler existed) and attached (on — reported so the recording cost
+   is a number, not folklore; a fresh collector per run keeps the row
+   deterministic). [measure]'s Gc counters are per-domain in OCaml 5, so
+   these rows account the main domain — shard 0's deliveries plus all
+   crew orchestration, which is where the instrumentation branches live. *)
+let par_obs_entries =
+  let make name pp_of =
+    {
+      name = "par_obs/" ^ name;
+      large = false;
+      prepare =
+        (fun () ->
+          let g = Generators.grid ~rows:16 ~cols:16 in
+          let program = flood_program g ~root:0 in
+          fun () ->
+            ignore
+              (Simulator_par.run ~domains:2 ?par_profile:(pp_of ()) g program));
+    }
+  in
+  [
+    make "off/grid16" (fun () -> None);
+    make "on/grid16" (fun () -> Some (Par_profile.create ()));
+  ]
+
 (* The distributed construction is the heaviest simulator client (BFS +
    detection waves); sizes stay modest to keep full mode under a minute. *)
 let distributed_entries =
@@ -307,8 +336,14 @@ let scaling_counts = [ 1; 2; 4; 8 ]
    on any machine, since oversubscribed domains must still produce the
    bit-identical answer), then time. Returns the report fragment and the
    4-domain speedup. *)
+(* One extra profiled run per domain count feeds the per-domain rows:
+   busy/barrier seconds, message counts and the round-level imbalance the
+   wall-clock speedup column can't explain on its own. The profiled run
+   is separate from the timed ones, so the curve's timings stay those of
+   the detached (zero-allocation) path. *)
 let curve name run =
-  let reference = run 1 in
+  let reference = run ?par_profile:None 1 in
+  let run ?par_profile d = run ?par_profile d in
   List.iter
     (fun d ->
       if run d <> reference then begin
@@ -326,24 +361,62 @@ let curve name run =
       (fun d ->
         let s = if d = 1 then serial else wall ~iters (fun () -> run d) in
         let speedup = serial /. Float.max 1e-9 s in
-        Printf.printf "scaling/%-16s %d domains  %8.2f ms  speedup %5.2fx\n%!"
-          name d (s *. 1e3) speedup;
-        (d, s, speedup))
+        let pp = Par_profile.create () in
+        ignore (run ~par_profile:pp d);
+        let dec = Par_profile.decomposition pp in
+        Printf.printf
+          "scaling/%-16s %d domains  %8.2f ms  speedup %5.2fx  imbalance \
+           %4.2f  barrier %5.1f%%\n%!"
+          name d (s *. 1e3) speedup
+          (Par_profile.imbalance pp)
+          (100.
+          *. dec.Par_profile.d_barrier_s
+          /. Float.max 1e-9 dec.Par_profile.d_wall_s);
+        (d, s, speedup, pp))
       scaling_counts
   in
   let json =
     Json.Obj
       (List.map
-         (fun (d, s, speedup) ->
+         (fun (d, s, speedup, pp) ->
+           let dec = Par_profile.decomposition pp in
+           let totals = Par_profile.totals pp in
            ( string_of_int d,
              Json.Obj
                [
                  ("seconds_per_run", Json.Float s);
                  ("speedup", Json.Float speedup);
+                 ("imbalance", Json.Float (Par_profile.imbalance pp));
+                 ( "decomposition",
+                   Json.Obj
+                     [
+                       ("wall_s", Json.Float dec.Par_profile.d_wall_s);
+                       ("parallel_s", Json.Float dec.Par_profile.d_parallel_s);
+                       ("imbalance_s", Json.Float dec.Par_profile.d_imbalance_s);
+                       ("barrier_s", Json.Float dec.Par_profile.d_barrier_s);
+                       ("serial_s", Json.Float dec.Par_profile.d_serial_s);
+                       ("other_s", Json.Float dec.Par_profile.d_other_s);
+                     ] );
+                 ( "per_domain",
+                   Json.List
+                     (Array.to_list
+                        (Array.mapi
+                           (fun shard (t : Par_profile.totals) ->
+                             Json.Obj
+                               [
+                                 ("domain", Json.Int shard);
+                                 ( "busy_s",
+                                   Json.Float (t.Par_profile.step_s
+                                               +. t.Par_profile.deliver_s) );
+                                 ("barrier_s", Json.Float t.Par_profile.barrier_s);
+                                 ("messages", Json.Int t.Par_profile.messages);
+                                 ("words", Json.Int t.Par_profile.words);
+                               ])
+                           totals)) );
                ] ))
          rows)
   in
-  let _, _, speedup4 = List.find (fun (d, _, _) -> d = 4) rows in
+  let _, _, speedup4, _ = List.find (fun (d, _, _, _) -> d = 4) rows in
   ((name, json), speedup4)
 
 (* The scaling workloads are deliberately larger than the allocation
@@ -367,7 +440,7 @@ let run_scaling () =
   let bcast_run =
     let g = Generators.grid ~rows:120 ~cols:120 in
     let program = flood_program g ~root:0 in
-    fun d -> Simulator_par.run ~domains:d g program
+    fun ?par_profile d -> Simulator_par.run ?par_profile ~domains:d g program
   in
   let pa_run =
     let g = Generators.grid ~rows:28 ~cols:28 in
@@ -378,7 +451,8 @@ let run_scaling () =
     let values = Array.init (Graph.n g) (fun v -> (v * 131) mod 65_521) in
     (* A fresh rng per run: [setup] consumes it for the delay draws, and
        identical delays across domain counts are part of the contract. *)
-    fun d -> Sim_aggregate.minimum ~domains:d (Rng.create 17) sc ~values
+    fun ?par_profile d ->
+      Sim_aggregate.minimum ?par_profile ~domains:d (Rng.create 17) sc ~values
   in
   let bcast_curve, bcast_speedup4 = curve "broadcast/grid120" bcast_run in
   let pa_curve, _ = curve "partwise/grid28" pa_run in
@@ -471,7 +545,7 @@ let run_suite ~quick ~iters =
       bench_rows := (e.name, sample_json s) :: !bench_rows)
     (selected
        (sync_bfs_entries @ partwise_entries @ faulty_entries @ traced_entries
-      @ distributed_entries));
+      @ par_obs_entries @ distributed_entries));
   ( Json.Obj
       [
         ("schema", Json.String schema);

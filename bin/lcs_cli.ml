@@ -183,6 +183,22 @@ let sketch_arg =
 
 let mode_of_sketch = Option.map (fun b -> Trace.Profile.Sketch b)
 
+let par_profile_arg =
+  let doc =
+    "Profile the sharded simulator's parallel execution and write the \
+     lcs-par-profile/1 JSON report (per-domain step/deliver/barrier-wait \
+     times, cross-shard traffic matrix, round-by-round imbalance ratio, \
+     speedup-loss decomposition) to $(docv). Attaching the profiler never \
+     changes any observable; it composes with --spans, whose Perfetto \
+     export then carries one track per domain."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "par-profile" ] ~docv:"PATH" ~doc)
+
+(* One collector per --par-profile run, written at the end; [None] when
+   the flag is absent so the simulator keeps its zero-allocation path. *)
+let make_par_profile = Option.map (fun _path -> Par_profile.create ())
+
 (* --- info subcommand -------------------------------------------------- *)
 
 let info_cmd =
@@ -204,7 +220,8 @@ let info_cmd =
 (* --- shortcut subcommand ------------------------------------------------ *)
 
 let shortcut_cmd =
-  let run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains =
+  let run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains ~pp
+      ~par_profile =
     (* Theorem 1.5 pipeline under injected faults, optionally supervised.
        The pipeline has no ARQ path, so the ladder's levers here are
        re-seeding (both the pipeline and the injector) and, on
@@ -215,7 +232,7 @@ let shortcut_cmd =
       match fault_seed with Some s -> s | None -> plan.Fault.seed
     in
     let run_attempt ~inj_seed ~pipe_seed =
-      Distributed.construct_outcome ~seed:pipe_seed ~domains
+      Distributed.construct_outcome ~seed:pipe_seed ~domains ?par_profile:pp
         ~faults:(Fault.compile ~seed:inj_seed plan)
         partition ~root:0
     in
@@ -284,14 +301,18 @@ let shortcut_cmd =
           | Some false -> "NO"
           | None -> "-")
     | None -> Printf.printf "  no shortcut constructed\n");
+    (match pp with None -> () | Some c -> Report.write_par_profile par_profile c);
     if r.Distributed.validated = Some false then 1 else 0
   in
-  let run family parts seed full trace spans faults fault_seed policy domains =
+  let run family parts seed full trace spans faults fault_seed policy domains
+      par_profile =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
+    let pp = make_par_profile par_profile in
     match faults with
     | Some fpath ->
-        run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains
+        run_faulty g partition ~seed ~fpath ~fault_seed ~policy ~domains ~pp
+          ~par_profile
     | None ->
     let tree = Bfs.tree g ~root:0 in
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
@@ -311,10 +332,12 @@ let shortcut_cmd =
         result.Construct.selected_count (Partition.k partition);
       Format.printf "  %a@." Quality.pp_report r
     end;
-    (* The traced run is the Theorem 1.5 pipeline on the enforced
-       simulator — that is where shortcut construction has a genuine
-       CONGEST event stream (BFS + detection waves). *)
-    (if obs <> None then begin
+    (* The traced (or par-profiled) run is the Theorem 1.5 pipeline on
+       the enforced simulator — that is where shortcut construction has a
+       genuine CONGEST event stream (BFS + detection waves). With only
+       --par-profile the pipeline runs untraced, so the sharded fast path
+       stays fully parallel. *)
+    (if obs <> None || pp <> None then begin
        let stream =
          match trace with
          | Some path when Report.is_stream path ->
@@ -327,9 +350,12 @@ let shortcut_cmd =
        let recorder, profile, tracer =
          match stream with
          | Some (_, (_, p, t)) -> (None, Some p, Some t)
-         | None -> Report.tracing g ~on:true
+         | None -> Report.tracing g ~on:(obs <> None)
        in
-       let o = Distributed.construct ?obs ~domains ?tracer partition ~root:0 in
+       let o =
+         Distributed.construct ?obs ~domains ?tracer ?par_profile:pp partition
+           ~root:0
+       in
        Printf.printf
          "distributed pipeline: delta=%d guesses=%d bfs_rounds=%d wave_rounds=%d\n"
          o.Distributed.delta o.Distributed.guesses
@@ -367,8 +393,9 @@ let shortcut_cmd =
                  (Trace.Profile.total_words profile)
                  (Trace.Profile.edges_used profile)
                  (Trace.Profile.rounds profile)));
-       Report.write_spans ?recorder spans obs
+       Report.write_spans ?recorder ?par:pp spans obs
      end);
+    (match pp with None -> () | Some c -> Report.write_par_profile par_profile c);
     0
   in
   let full_arg =
@@ -405,13 +432,14 @@ let shortcut_cmd =
   Cmd.v
     (Cmd.info "shortcut" ~doc:"construct a Theorem 3.1 shortcut and measure it")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ full_arg $ trace_arg
-          $ spans_arg $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg)
+          $ spans_arg $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg
+          $ par_profile_arg)
 
 (* --- pa subcommand -------------------------------------------------------- *)
 
 let pa_cmd =
   let run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans
-      ~domains ~mode =
+      ~domains ~mode ~pp ~par_profile =
     (* Fault-injection mode: the enforced simulator run (the same protocol
        --trace exercises) under a compiled plan, classified and validated
        by Sim_aggregate.minimum_outcome instead of asserted correct. The
@@ -453,7 +481,7 @@ let pa_cmd =
       let injector = Fault.compile ~seed:inj_seed plan in
       let o =
         Sim_aggregate.minimum_outcome ~domains ?obs ?tracer ?reliable ?budget
-          ~faults:injector
+          ?par_profile:pp ~faults:injector
           (Rng.create sched_seed)
           sc ~values
       in
@@ -569,10 +597,12 @@ let pa_cmd =
             Printf.printf "trace: wrote %s (%d events, %d fault events)\n" path
               (Trace.Recorder.length recorder)
               (Trace.Profile.fault_events profile)));
-    Report.write_spans ~recorder spans obs;
+    Report.write_spans ~recorder ?par:pp spans obs;
+    (match pp with None -> () | Some c -> Report.write_par_profile par_profile c);
     0
   in
-  let run family parts seed trace spans faults fault_seed policy domains sketch =
+  let run family parts seed trace spans faults fault_seed policy domains sketch
+      par_profile =
     let g, shape = build_family seed family in
     let partition = build_partition seed g shape parts in
     let tree = Bfs.tree g ~root:0 in
@@ -580,10 +610,11 @@ let pa_cmd =
     let rng = Rng.create (seed + 5) in
     let values = Array.init (Graph.n g) (fun _ -> Rng.int rng 1_000_000) in
     let mode = mode_of_sketch sketch in
+    let pp = make_par_profile par_profile in
     match faults with
     | Some fpath ->
         run_faulty g sc values ~seed ~fpath ~fault_seed ~policy ~trace ~spans
-          ~domains ~mode
+          ~domains ~mode ~pp ~par_profile
     | None ->
     let out = Aggregate.minimum (Rng.create (seed + 6)) sc ~values in
     let ok = out.Aggregate.minima = Aggregate.reference_minima sc ~values in
@@ -593,11 +624,13 @@ let pa_cmd =
     Printf.printf "without shortcuts:          %d rounds, %d messages\n"
       bare.Aggregate.rounds bare.Aggregate.messages;
     let obs = if trace <> None || spans <> None then Some (Obs.create ()) else None in
-    (if obs <> None then begin
-       (* The traced run is the genuine CONGEST execution (Sim_aggregate):
-          every transmission crosses the simulator's enforced 1-word
-          bandwidth and lands in the event stream. A .jsonl target streams
-          that stream to disk line by line instead of recording it. *)
+    (if obs <> None || pp <> None then begin
+       (* The traced (or par-profiled) run is the genuine CONGEST execution
+          (Sim_aggregate): every transmission crosses the simulator's
+          enforced 1-word bandwidth and lands in the event stream. A .jsonl
+          target streams that stream to disk line by line instead of
+          recording it. With only --par-profile the run is untraced, so
+          the sharded simulator keeps its fully parallel fast path. *)
        match trace with
        | Some path when Report.is_stream path ->
            let sink, profile, tracer =
@@ -605,15 +638,16 @@ let pa_cmd =
                ~protocol:"sim_aggregate.minimum" ~seed path
            in
            let _sim =
-             Sim_aggregate.minimum ~domains ?obs ~tracer (Rng.create (seed + 7))
-               sc ~values
+             Sim_aggregate.minimum ~domains ?obs ~tracer ?par_profile:pp
+               (Rng.create (seed + 7)) sc ~values
            in
            Report.finish_stream path sink profile;
-           Report.write_spans spans obs
+           Report.write_spans ?par:pp spans obs
        | _ ->
-       let recorder, profile, tracer = Report.tracing ?mode g ~on:true in
+       let recorder, profile, tracer = Report.tracing ?mode g ~on:(obs <> None) in
        let sim =
-         Sim_aggregate.minimum ~domains ?obs ?tracer (Rng.create (seed + 7)) sc ~values
+         Sim_aggregate.minimum ~domains ?obs ?tracer ?par_profile:pp
+           (Rng.create (seed + 7)) sc ~values
        in
        (match trace with
        | None -> ()
@@ -642,8 +676,9 @@ let pa_cmd =
                  (Trace.Profile.total_words profile)
                  (Trace.Profile.edges_used profile)
                  (Trace.Profile.rounds profile)));
-       Report.write_spans ?recorder spans obs
+       Report.write_spans ?recorder ?par:pp spans obs
      end);
+    (match pp with None -> () | Some c -> Report.write_par_profile par_profile c);
     0
   in
   let trace_arg =
@@ -680,14 +715,19 @@ let pa_cmd =
   Cmd.v
     (Cmd.info "pa" ~doc:"run part-wise aggregation with and without shortcuts")
     Term.(const run $ graph_arg $ parts_arg $ seed_arg $ trace_arg $ spans_arg
-          $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg $ sketch_arg)
+          $ faults_arg $ fault_seed_arg $ policy_term $ domains_arg $ sketch_arg
+          $ par_profile_arg)
 
 (* --- mst subcommand --------------------------------------------------------- *)
 
 let mst_cmd =
-  let run family seed mode trace spans policy domains =
+  let run family seed mode trace spans policy domains par_profile =
     let g, _shape = build_family seed family in
     let w = Weights.random_distinct (Rng.create (seed + 3)) g in
+    (* With domains <= 1 the engine uses the packet router, which the
+       sharded simulator never runs — the collector then records nothing
+       (the report says so rather than the flag failing silently). *)
+    let pp = make_par_profile par_profile in
     let mode =
       match mode with
       | "thm31" -> Boruvka_engine.Thm31
@@ -713,7 +753,9 @@ let mst_cmd =
     let reference = Kruskal.mst w in
     let result =
       match policy with
-      | None -> Mst.boruvka ?obs ?tracer ~seed:(seed + 4) ~mode ~domains w
+      | None ->
+          Mst.boruvka ?obs ?tracer ?par_profile:pp ~seed:(seed + 4) ~mode
+            ~domains w
       | Some policy ->
           (* MST has no fault-injection path, so the ladder's lever is
              re-seeding the engine; acceptance is correctness against
@@ -722,7 +764,8 @@ let mst_cmd =
           let attempt (k : Supervisor.knobs) =
             let off = k.Supervisor.seed - policy.Supervisor.base_seed in
             Outcome.Complete
-              (Mst.boruvka ?obs ?tracer ~seed:(seed + 4 + off) ~mode ~domains w)
+              (Mst.boruvka ?obs ?tracer ?par_profile:pp ~seed:(seed + 4 + off)
+                 ~mode ~domains w)
           in
           let accept = function
             | Outcome.Complete r -> r.Mst.edges = reference
@@ -780,7 +823,8 @@ let mst_cmd =
               (Trace.Recorder.length recorder)
               (Trace.Profile.total_words profile)
               (Trace.Profile.edges_used profile)));
-    Report.write_spans ?recorder spans obs;
+    Report.write_spans ?recorder ?par:pp spans obs;
+    (match pp with None -> () | Some c -> Report.write_par_profile par_profile c);
     0
   in
   let mode_arg =
@@ -805,7 +849,7 @@ let mst_cmd =
   Cmd.v
     (Cmd.info "mst" ~doc:"distributed Boruvka MST with measured PA rounds")
     Term.(const run $ graph_arg $ seed_arg $ mode_arg $ trace_arg $ spans_arg
-          $ policy_term $ domains_arg)
+          $ policy_term $ domains_arg $ par_profile_arg)
 
 (* --- export subcommand -------------------------------------------------------- *)
 
@@ -1507,6 +1551,115 @@ let top_cmd =
              rebuild its congestion profile")
     Term.(const run $ trace_pos $ k_arg $ profile_arg)
 
+(* --- shards subcommand ------------------------------------------------------ *)
+
+(* Static shard diagnostics: the contiguous node ranges Simulator_par
+   would hand each domain, their port (directed-edge endpoint) counts,
+   and the resulting static imbalance ratio — the load-balance picture
+   *before* a run, to compare against the measured per-round imbalance a
+   --par-profile report gives *after* one. *)
+let shards_cmd =
+  let run graph domains seed json =
+    let g =
+      match parse_gen_family graph with
+      | Ok f -> build_gen_family seed f
+      | Error e ->
+          if Sys.file_exists graph then load_graph graph
+          else begin
+            Printf.eprintf
+              "lcs: %s is neither a graph family (%s) nor an existing file\n"
+              graph e;
+            exit 2
+          end
+    in
+    let bounds = Simulator_par.shard_bounds ~domains g in
+    let d = Array.length bounds - 1 in
+    let ports_of s =
+      let acc = ref 0 in
+      for v = bounds.(s) to bounds.(s + 1) - 1 do
+        acc := !acc + Graph.degree g v
+      done;
+      !acc
+    in
+    let ports = Array.init d ports_of in
+    let total_ports = Array.fold_left ( + ) 0 ports in
+    let max_ports = Array.fold_left max 0 ports in
+    let mean_ports = float_of_int total_ports /. float_of_int (max 1 d) in
+    let imbalance =
+      if mean_ports > 0.0 then float_of_int max_ports /. mean_ports else 1.0
+    in
+    if json then begin
+      let shards =
+        List.init d (fun sh ->
+            Json.Obj
+              [
+                ("shard", Json.Int sh);
+                ("first", Json.Int bounds.(sh));
+                ("last", Json.Int (bounds.(sh + 1) - 1));
+                ("nodes", Json.Int (bounds.(sh + 1) - bounds.(sh)));
+                ("ports", Json.Int ports.(sh));
+              ])
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String "lcs-shards/1");
+                ("n", Json.Int (Graph.n g));
+                ("m", Json.Int (Graph.m g));
+                ("requested_domains", Json.Int domains);
+                ("domains", Json.Int d);
+                ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) bounds)));
+                ("shards", Json.List shards);
+                ("static_imbalance", Json.Float imbalance);
+              ]))
+    end
+    else begin
+      Printf.printf "graph: n=%d m=%d (%d ports)\n" (Graph.n g) (Graph.m g)
+        total_ports;
+      Printf.printf "domains: %d%s (clamp [1, min n %d])\n" d
+        (if d <> domains then Printf.sprintf " (requested %d)" domains else "")
+        Simulator_par.max_domains;
+      Array.iteri
+        (fun sh p ->
+          Printf.printf "shard %d: nodes %d..%d (%d nodes, %d ports, %.1f%% of traffic endpoints)\n"
+            sh bounds.(sh)
+            (bounds.(sh + 1) - 1)
+            (bounds.(sh + 1) - bounds.(sh))
+            p
+            (if total_ports > 0 then
+               100.0 *. float_of_int p /. float_of_int total_ports
+             else 0.0))
+        ports;
+      Printf.printf "static imbalance (max/mean ports): %.3f\n" imbalance
+    end;
+    0
+  in
+  let graph_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"GRAPH"
+             ~doc:"graph family spec (any --graph family, or streaming \
+                   grid:R[,C] | tree:N | pa:N,M0) or a graph file path \
+                   (.bin or text edge list)")
+  in
+  let domains_arg =
+    Arg.(value & opt int (Simulator_par.recommended ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"shard count to plan for (defaults to the recommended \
+                   domain count of this machine; clamped like the \
+                   simulator clamps it)")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit the lcs-shards/1 JSON object instead \
+                                 of the human-readable table")
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:"show the sharded simulator's node ranges, per-shard port \
+             counts and static imbalance for a graph")
+    Term.(const run $ graph_pos $ domains_arg $ seed_arg $ json_arg)
+
 let () =
   let doc = "low-congestion shortcuts toolbox" in
   let info = Cmd.info "lcs" ~doc in
@@ -1515,4 +1668,4 @@ let () =
        (Cmd.group info
           [ info_cmd; shortcut_cmd; pa_cmd; mst_cmd; bcast_cmd; chaos_cmd;
             export_cmd; certificate_cmd; analyze_cmd; top_cmd; experiment_cmd;
-            graph_cmd ]))
+            graph_cmd; shards_cmd ]))

@@ -58,8 +58,12 @@ let write_json path doc ~describe =
 (* Write the collector's span tree as Chrome trace-event JSON (--spans).
    When a recorder captured the run's event stream, the critical path of
    each run rides along as flow events (Perfetto arrows between causally
-   linked sends) on synthetic processes next to the wall-clock spans. *)
-let write_spans ?recorder spans obs =
+   linked sends) on synthetic processes next to the wall-clock spans.
+   When a wall-clock collector profiled a sharded run (--par-profile),
+   its per-domain tracks (pid 0) merge in on the same clock: their
+   timestamps are rebased to the span collector's epoch, so domain busy
+   slices line up under the algorithm spans that ran them. *)
+let write_spans ?recorder ?par spans obs =
   match (spans, obs) with
   | Some path, Some o ->
       let flows =
@@ -69,15 +73,20 @@ let write_spans ?recorder spans obs =
             List.concat_map Analyze.flow_events
               (Analyze.of_events (Trace.Recorder.events r))
       in
+      let par_events =
+        match par with
+        | None -> []
+        | Some pp -> Par_profile.chrome_events ~t0:(Obs.epoch_s o) pp
+      in
       let doc =
-        match (flows, Obs.to_chrome_json o) with
+        match (par_events @ flows, Obs.to_chrome_json o) with
         | [], doc -> doc
-        | flows, Json.Obj fields ->
+        | extra, Json.Obj fields ->
             Json.Obj
               (List.map
                  (function
                    | "traceEvents", Json.List evs ->
-                       ("traceEvents", Json.List (evs @ flows))
+                       ("traceEvents", Json.List (evs @ extra))
                    | field -> field)
                  fields)
         | _, doc -> doc
@@ -86,6 +95,25 @@ let write_spans ?recorder spans obs =
           Printf.printf "spans: wrote %s (%d spans, max depth %d)\n" path
             (Obs.span_count o) (Obs.max_depth o))
   | _ -> ()
+
+(* Write the wall-clock collector's lcs-par-profile/1 report
+   (--par-profile OUT.json), with the speedup-loss decomposition echoed
+   on stdout so the headline numbers need no JSON spelunking. *)
+let write_par_profile path pp =
+  match path with
+  | None -> ()
+  | Some path ->
+      let d = Par_profile.decomposition pp in
+      write_json path (Par_profile.to_json pp) ~describe:(fun () ->
+          Printf.printf
+            "par-profile: wrote %s (%d domains, %d rounds, imbalance %.2f; wall \
+             %.4fs = parallel %.4f + imbalance %.4f + barrier %.4f + serial %.4f \
+             + other %.4f)\n"
+            path (Par_profile.domains pp) (Par_profile.rounds pp)
+            (Par_profile.imbalance pp) d.Par_profile.d_wall_s
+            d.Par_profile.d_parallel_s d.Par_profile.d_imbalance_s
+            d.Par_profile.d_barrier_s d.Par_profile.d_serial_s
+            d.Par_profile.d_other_s)
 
 (* Tracing harness: a recorder + profile pair tee'd into one tracer, or
    nothing when the report does not need them. [mode] selects the

@@ -54,7 +54,8 @@ let build_shortcut ?obs mode tree partition =
       | Bfs_baseline -> (Baseline.bfs_tree partition ~tree).Baseline.shortcut
       | Induced_only -> Shortcut.empty partition)
 
-let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) ?(domains = 1) g ~candidate ~on_merge =
+let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) ?(domains = 1) ?par_profile g
+    ~candidate ~on_merge =
   if Graph.m g >= 1 lsl key_bits then invalid_arg "Boruvka_engine: too many edges";
   let rng = Rng.create seed in
   let n = Graph.n g in
@@ -93,7 +94,9 @@ let run ?obs ?tracer ?(seed = 7) ?(mode = Thm31) ?(domains = 1) g ~candidate ~on
        aggregation). *)
     let minima, phase_rounds, phase_messages =
       if domains > 1 then begin
-        let out = Sim_aggregate.minimum ~domains ?obs ?tracer rng !shortcut ~values in
+        let out =
+          Sim_aggregate.minimum ~domains ?obs ?tracer ?par_profile rng !shortcut ~values
+        in
         (out.Sim_aggregate.minima, out.Sim_aggregate.rounds, out.Sim_aggregate.messages)
       end
       else begin

@@ -35,6 +35,7 @@ val run :
   ?seed:int ->
   ?mode:shortcut_mode ->
   ?domains:int ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   Lcs_graph.Graph.t ->
   candidate:(fragment_of:(int -> int) -> int -> (int * int) option) ->
   on_merge:(int -> unit) ->
@@ -62,4 +63,8 @@ val run :
     that many domains). Both engines return the exact per-part minima, so
     the merges — and therefore the MST — are identical; the [pa_rounds] /
     [pa_messages] accounting reflects whichever engine ran. The
-    fragment-identity broadcast stays on the packet router. *)
+    fragment-identity broadcast stays on the packet router.
+
+    [par_profile] attaches a wall-clock collector to every simulated
+    aggregation ({!Lcs_congest.Simulator_par.run_outcome}); it records
+    nothing when [domains <= 1], where the packet router runs instead. *)

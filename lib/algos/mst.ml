@@ -8,7 +8,7 @@ type result = {
   accounting : Boruvka_engine.accounting;
 }
 
-let boruvka ?obs ?tracer ?seed ?mode ?domains weights =
+let boruvka ?obs ?tracer ?seed ?mode ?domains ?par_profile weights =
   Obs.span obs "mst" @@ fun () ->
   let g = Weights.graph weights in
   Obs.note obs "n" (Obs.Int (Graph.n g));
@@ -27,7 +27,8 @@ let boruvka ?obs ?tracer ?seed ?mode ?domains weights =
     !best
   in
   let accounting =
-    Boruvka_engine.run ?obs ?tracer ?seed ?mode ?domains g ~candidate ~on_merge:(fun e ->
+    Boruvka_engine.run ?obs ?tracer ?seed ?mode ?domains ?par_profile g ~candidate
+      ~on_merge:(fun e ->
         picked := e :: !picked)
   in
   let edges = List.sort compare !picked in

@@ -20,6 +20,7 @@ val boruvka :
   ?seed:int ->
   ?mode:Boruvka_engine.shortcut_mode ->
   ?domains:int ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   Lcs_graph.Weights.t ->
   result
 (** Requires a connected host graph (the result then has [n-1] edges).
@@ -29,4 +30,6 @@ val boruvka :
     runs each phase's minimum aggregation as a CONGEST program on the
     sharded simulator ({!Lcs_congest.Simulator_par} via
     {!Lcs_partwise.Sim_aggregate}) instead of the packet router; the MST
-    is identical, the accounting reflects the simulated engine. *)
+    is identical, the accounting reflects the simulated engine.
+    [par_profile] attaches a wall-clock collector to those simulated
+    aggregations (it records nothing when [domains <= 1]). *)

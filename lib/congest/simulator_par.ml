@@ -36,15 +36,18 @@ module Vec = Lcs_util.Vec
 module Intvec = Lcs_util.Intvec
 module Csr = Simulator.Csr
 
-let max_shards = 32
+(* The one shard-count ceiling: [recommended], [shard_bounds] and the
+   run entry points all clamp to it (PR 10 unified the earlier [1, 8]
+   vs [1, 32] split). *)
+let max_domains = 32
 
-let recommended () = max 1 (min 8 (Domain.recommended_domain_count ()))
+let recommended () = max 1 (min max_domains (Domain.recommended_domain_count ()))
 
 (* Contiguous shard boundaries balancing the port (= work) count, not the
    node count: shard [s] is [bounds.(s) .. bounds.(s+1) - 1]. *)
 let shard_bounds ~domains g =
   let n = Graph.n g in
-  let d = max 1 (min domains (min (max 1 n) max_shards)) in
+  let d = max 1 (min domains (min (max 1 n) max_domains)) in
   let offsets = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     offsets.(v + 1) <- offsets.(v) + Graph.degree g v
@@ -162,7 +165,8 @@ type 'msg pending = {
   p_msg : 'msg;
 }
 
-let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g program =
+let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile ?par_profile g
+    program =
   let n = Graph.n g in
   let csr = Csr.build g in
   let ctxs = Csr.contexts csr n in
@@ -312,6 +316,9 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
           if used > roundmax_s.(s) then roundmax_s.(s) <- used
         end;
         let w = Intvec.unsafe_get csr.Csr.port_neighbor slot in
+        (match par_profile with
+        | None -> ()
+        | Some pp -> Par_profile.record_send pp ~src:s ~dst:owner.(w) ~words:size);
         let cell = out.(s).(owner.(w)) in
         Vec.push cell.ob_dst w;
         Vec.push cell.ob_port (Intvec.unsafe_get csr.Csr.port_reverse slot);
@@ -456,6 +463,9 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
     | None ->
         incr messages;
         words := !words + size;
+        (match par_profile with
+        | None -> ()
+        | Some pp -> Par_profile.record_send pp ~src:owner.(v) ~dst:owner.(w) ~words:size);
         (match tracer with
         | None -> ()
         | Some t ->
@@ -505,6 +515,10 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
                 (fun i delay ->
                   incr messages;
                   words := !words + size;
+                  (match par_profile with
+                  | None -> ()
+                  | Some pp ->
+                      Par_profile.record_send pp ~src:owner.(v) ~dst:owner.(w) ~words:size);
                   let id =
                     match tracer with
                     | None -> 0
@@ -630,9 +644,33 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
     done
   in
   (* --- the round loop ---------------------------------------------------- *)
+  (* With a wall-clock collector attached, each phase job times itself
+     into its own shard's slot (single-writer, merged at the barrier);
+     the instrumentation-off arm passes the bare jobs through and
+     allocates nothing. *)
+  let compute_job = if serialized then phase_compute_slow else phase_compute_fast in
+  let compute_job =
+    match par_profile with
+    | None -> compute_job
+    | Some pp ->
+        fun s ->
+          let t0 = Par_profile.now () in
+          compute_job s;
+          Par_profile.set_step pp ~shard:s (Par_profile.now () -. t0)
+  in
+  let drain_job =
+    match par_profile with
+    | None -> phase_drain
+    | Some pp ->
+        fun s ->
+          let t0 = Par_profile.now () in
+          phase_drain s;
+          Par_profile.set_deliver pp ~shard:s (Par_profile.now () -. t0)
+  in
   let crew = make_crew d in
   let handles = Array.init (d - 1) (fun i -> Domain.spawn (worker crew (i + 1) ~traced)) in
   Fun.protect ~finally:(fun () -> shutdown crew handles) @@ fun () ->
+  (match par_profile with None -> () | Some pp -> Par_profile.begin_run pp ~domains:d);
   while !live > 0 && not !out_of_rounds do
     if !rounds >= max_rounds then out_of_rounds := true
     else begin
@@ -676,15 +714,25 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
               Vec.clear slot
             end)
       end;
-      run_phase crew (if serialized then phase_compute_slow else phase_compute_fast);
+      (match par_profile with None -> () | Some pp -> Par_profile.round_start pp);
+      run_phase crew compute_job;
+      (match par_profile with None -> () | Some pp -> Par_profile.end_step pp);
       check_failures ();
-      if serialized then replay_round ()
+      if serialized then begin
+        match par_profile with
+        | None -> replay_round ()
+        | Some pp ->
+            let t0 = Par_profile.now () in
+            replay_round ();
+            Par_profile.add_serial pp (Par_profile.now () -. t0)
+      end
       else begin
         for s = 0 to d - 1 do
           live := !live + live_delta.(s);
           live_delta.(s) <- 0
         done;
-        run_phase crew phase_drain
+        run_phase crew drain_job;
+        match par_profile with None -> () | Some pp -> Par_profile.end_deliver pp
       end;
       let tp = !cur_ports in
       cur_ports := !nxt_ports;
@@ -700,12 +748,15 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
       (match tracer with
       | None -> ()
       | Some t -> t (Trace.Round_end { round = !rounds; max_edge_load = !round_max }));
-      match flight with
-      | Some (every, emit) when profiled && every > 0 && !rounds mod every = 0 ->
-          (* Flight snapshot at the barrier: merge the shards into a
-             throwaway profile for the heavy hitters and vitals, and read
-             each domain's pending-delivery depth off the inboxes the
-             swap just made current. *)
+      (match flight with
+      | Some (every, emit) when final_profile <> None && every > 0 && !rounds mod every = 0
+        ->
+          (* Flight snapshot at the barrier: read each domain's
+             pending-delivery depth off the inboxes the swap just made
+             current. On the fast path the heavy hitters and vitals come
+             from merging the per-domain shards into a throwaway profile;
+             on the serialized path the caller's profile (fed through the
+             tracer tee) has already closed this round. *)
           let queues = Array.make d 0 in
           for s = 0 to d - 1 do
             let depth = ref 0 in
@@ -714,10 +765,15 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
             done;
             queues.(s) <- !depth
           done;
-          emit (Trace.Flight.of_profile ~queues ~round:!rounds (merged_shards ()))
-      | _ -> ()
+          let p = if profiled then merged_shards () else Option.get final_profile in
+          emit (Trace.Flight.of_profile ~queues ~round:!rounds p)
+      | _ -> ());
+      match par_profile with
+      | None -> ()
+      | Some pp -> Par_profile.commit_round pp ~round:!rounds
     end
   done;
+  (match par_profile with None -> () | Some pp -> Par_profile.end_run pp);
   if not serialized then begin
     for s = 0 to d - 1 do
       messages := !messages + messages_s.(s);
@@ -752,43 +808,60 @@ let run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?profile g pro
 
 (* --- entry points -------------------------------------------------------- *)
 
-let run_outcome ?(domains = 1) ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults g
-    program =
+let run_outcome ?(domains = 1) ?(bandwidth = 1) ?(max_rounds = 100_000) ?tracer ?faults
+    ?par_profile g program =
   if domains < 1 then invalid_arg "Simulator_par.run: domains";
   if bandwidth < 1 then invalid_arg "Simulator_par.run: bandwidth";
-  let d = min domains (min (max 1 (Graph.n g)) max_shards) in
-  if d <= 1 then Simulator.run_outcome ~bandwidth ~max_rounds ?tracer ?faults g program
-  else run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults g program
+  let d = min domains (min (max 1 (Graph.n g)) max_domains) in
+  (* A wall-clock collector forces the sharded core even at one domain:
+     a single-shard run is byte-identical to the serial core (the
+     determinism contract) and its timeline is the speedup baseline. *)
+  if d <= 1 && par_profile = None then
+    Simulator.run_outcome ~bandwidth ~max_rounds ?tracer ?faults g program
+  else run_sharded ~domains:d ~bandwidth ~max_rounds ?tracer ?faults ?par_profile g program
 
-let run ?domains ?bandwidth ?max_rounds ?tracer ?faults g program =
-  match run_outcome ?domains ?bandwidth ?max_rounds ?tracer ?faults g program with
+let run ?domains ?bandwidth ?max_rounds ?tracer ?faults ?par_profile g program =
+  match run_outcome ?domains ?bandwidth ?max_rounds ?tracer ?faults ?par_profile g program with
   | Simulator.Finished (states, stats) -> (states, stats)
   | Simulator.Out_of_rounds (_, partial) ->
       raise (Simulator.Round_limit partial.Simulator.partial_stats.Simulator.rounds)
 
 let run_profiled ?(domains = 1) ?(bandwidth = 1) ?(max_rounds = 100_000) ?mode ?flight
-    ?tracer ?faults g program =
+    ?tracer ?faults ?par_profile g program =
   if domains < 1 then invalid_arg "Simulator_par.run: domains";
   if bandwidth < 1 then invalid_arg "Simulator_par.run: bandwidth";
   let profile = Trace.Profile.create ?mode ~edges:(Graph.m g) () in
-  let d = min domains (min (max 1 (Graph.n g)) max_shards) in
-  if tracer = None && faults = None && d > 1 then begin
-    (* Profile-only parallel run: no event order to reproduce, so the
-       fast path runs end to end with per-domain shards — profiled runs
-       no longer pay the serial-replay tax. *)
-    match
-      run_sharded ~domains:d ~bandwidth ~max_rounds ~profile:(profile, flight) g
-        program
-    with
+  let d = min domains (min (max 1 (Graph.n g)) max_domains) in
+  let sharded = d > 1 || par_profile <> None in
+  let finish outcome =
+    match outcome with
     | Simulator.Finished (states, base) -> (states, { Simulator.base; profile })
     | Simulator.Out_of_rounds (_, partial) ->
         raise (Simulator.Round_limit partial.Simulator.partial_stats.Simulator.rounds)
+  in
+  if tracer = None && faults = None && sharded then
+    (* Profile-only parallel run: no event order to reproduce, so the
+       fast path runs end to end with per-domain shards — profiled runs
+       no longer pay the serial-replay tax. *)
+    finish
+      (run_sharded ~domains:d ~bandwidth ~max_rounds ~profile:(profile, flight)
+         ?par_profile g program)
+  else if sharded then begin
+    (* An external tracer or a fault plan serializes the observables (see
+       the determinism contract above); the profile still collects
+       through the tracer tee, but the flight snapshots are emitted
+       inside the round loop, where per-domain queue depths are known. *)
+    let collectors = Trace.Profile.tracer profile :: Option.to_list tracer in
+    let tracer = match collectors with [ t ] -> t | ts -> Trace.tee ts in
+    finish
+      (run_sharded ~domains:d ~bandwidth ~max_rounds ~tracer ?faults
+         ~profile:(profile, flight) ?par_profile g program)
   end
   else begin
-    (* An external tracer or a fault plan serializes anyway (see the
-       determinism contract above); collect through the tracer as before,
-       with the flight observer teed after the profile so snapshots see
-       each closed round. *)
+    (* One domain, no wall-clock collector: the serial core runs, with
+       the flight observer teed after the profile so snapshots see each
+       closed round. Serial runs have no shards, so snapshot queue
+       depths stay [||]. *)
     let collectors =
       (Trace.Profile.tracer profile :: Option.to_list tracer)
       @

@@ -34,9 +34,14 @@
     run where the serial core stopped early — their effects are discarded
     with the run. *)
 
+val max_domains : int
+(** The shard-count ceiling (32). {!recommended}, {!shard_bounds} and
+    the run entry points all clamp to it. *)
+
 val recommended : unit -> int
 (** A sensible default domain count for this machine:
-    [Domain.recommended_domain_count], clamped to [\[1, 8\]]. *)
+    [Domain.recommended_domain_count], clamped to
+    [\[1, max_domains\]]. *)
 
 val shard_bounds : domains:int -> Lcs_graph.Graph.t -> int array
 (** The contiguous shard boundaries the run will use: [domains + 1]
@@ -50,13 +55,23 @@ val run_outcome :
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->
+  ?par_profile:Par_profile.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) Simulator.program ->
   'state Simulator.run_result
 (** Like {!Simulator.run_outcome}, executed on [domains] shards.
-    [domains] defaults to 1 and is clamped to [\[1, min n 32\]];
-    [domains <= 1] delegates to the serial core outright, so callers can
-    thread a [?domains] argument through unconditionally. *)
+    [domains] defaults to 1 and is clamped to
+    [\[1, min n max_domains\]]; [domains <= 1] delegates to the serial
+    core outright, so callers can thread a [?domains] argument through
+    unconditionally.
+
+    [par_profile] attaches a wall-clock collector (see {!Par_profile}):
+    per-domain step / deliver / barrier-wait times, message counts and
+    the cross-shard traffic matrix, recorded per round. Attaching one
+    never changes any observable (timing is recorded per domain and
+    merged at the barrier, never read by the simulator), but it does
+    force the sharded core even at [domains = 1] so the single-shard
+    timeline exists as a speedup baseline. *)
 
 val run :
   ?domains:int ->
@@ -64,11 +79,13 @@ val run :
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->
+  ?par_profile:Par_profile.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) Simulator.program ->
   'state array * Simulator.stats
 (** Like {!Simulator.run}, executed on [domains] shards; raises
-    {!Simulator.Round_limit} when [max_rounds] elapse. *)
+    {!Simulator.Round_limit} when [max_rounds] elapse. [par_profile] as
+    in {!run_outcome}. *)
 
 val run_profiled :
   ?domains:int ->
@@ -78,6 +95,7 @@ val run_profiled :
   ?flight:int * (Trace.Flight.snapshot -> unit) ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->
+  ?par_profile:Par_profile.t ->
   Lcs_graph.Graph.t ->
   ('state, 'msg) Simulator.program ->
   'state array * Simulator.profiled_stats
@@ -97,9 +115,13 @@ val run_profiled :
 
     [flight = (every, emit)] emits a {!Trace.Flight.snapshot} at each
     [every]-th round barrier, with per-domain pending-delivery queue
-    depths filled in on the parallel path.
+    depths filled in on every sharded path — parallel {e and}
+    serialized (traced / faulty). The one remaining case with empty
+    ([[||]]) queue depths is a run on the serial core (one domain and
+    no [?par_profile]), which has no shards to report.
 
     With a [?tracer] or [?faults] the run serializes at the barrier as
     before (see the determinism contract) and the profile collects
-    through the event stream; the flight observer then rides on the
-    tracer tee with empty queue depths. *)
+    through the event stream. [par_profile] as in {!run_outcome}; on
+    serialized runs its decomposition additionally reports the
+    serial-replay time. *)

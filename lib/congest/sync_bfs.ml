@@ -184,9 +184,11 @@ let parents_of_states g states =
     states;
   (parent, parent_edge)
 
-let run ?domains ?max_rounds ?tracer g ~root =
+let run ?domains ?max_rounds ?tracer ?par_profile g ~root =
   let program = make_program ~root in
-  let states, stats = Simulator_par.run ?domains ?max_rounds ?tracer g program in
+  let states, stats =
+    Simulator_par.run ?domains ?max_rounds ?tracer ?par_profile g program
+  in
   let parent, parent_edge = parents_of_states g states in
   let tree = Rooted_tree.create ~root ~parent ~parent_edge in
   let height = states.(root).global_height in
@@ -203,7 +205,7 @@ type report = {
   stats : Simulator.stats;
 }
 
-let run_outcome ?domains ?max_rounds ?tracer ?faults g ~root =
+let run_outcome ?domains ?max_rounds ?tracer ?faults ?par_profile g ~root =
   (* The wave protocol counts exact round offsets (Child notifications
      arrive announce+2), so it cannot ride on the Reliable ARQ, which
      stretches the clock: it runs raw, and any injected loss degrades the
@@ -213,7 +215,10 @@ let run_outcome ?domains ?max_rounds ?tracer ?faults g ~root =
   in
   let program = make_program ~root in
   let states, out_of_rounds, stats =
-    match Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults g program with
+    match
+      Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults ?par_profile g
+        program
+    with
     | Simulator.Finished (states, stats) -> (states, false, stats)
     | Simulator.Out_of_rounds (states, p) -> (states, true, p.Simulator.partial_stats)
   in

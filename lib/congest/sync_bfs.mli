@@ -13,6 +13,7 @@ val run :
   ?domains:int ->
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
+  ?par_profile:Par_profile.t ->
   Lcs_graph.Graph.t ->
   root:int ->
   Lcs_graph.Rooted_tree.t * int * Simulator.stats
@@ -20,7 +21,9 @@ val run :
     node never joins and the simulation raises {!Simulator.Round_limit}.
     [tracer] is forwarded to the simulator. [domains] (default 1) shards
     the simulation across that many OCaml domains via {!Simulator_par};
-    every observable is identical at any value. *)
+    every observable is identical at any value. [par_profile] attaches a
+    wall-clock collector to the sharded simulator (see
+    {!Simulator_par.run_outcome}). *)
 
 (** {1 Fault-tolerant entry point} *)
 
@@ -39,6 +42,7 @@ val run_outcome :
   ?max_rounds:int ->
   ?tracer:Trace.tracer ->
   ?faults:Fault.t ->
+  ?par_profile:Par_profile.t ->
   Lcs_graph.Graph.t ->
   root:int ->
   report Outcome.t

@@ -327,8 +327,12 @@ module Flight : sig
     halted : int;  (** nodes halted so far *)
     top : (int * int) list;  (** current heavy hitters as [(edge, words)] *)
     queues : int array;
-        (** pending deliveries per domain at the snapshot round's barrier;
-            [[||]] for serial sources *)
+        (** pending deliveries per domain at the snapshot round's barrier.
+            Filled on every sharded run — parallel {e and} serialized
+            (traced / faulty). The one remaining empty ([[||]]) case is a
+            serial-core source: a one-domain run without a wall-clock
+            collector (or the plain {!Simulator}), which has no shards to
+            report. *)
   }
 
   val to_json : snapshot -> Lcs_util.Json.t

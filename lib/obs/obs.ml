@@ -2,6 +2,7 @@ module Json = Lcs_util.Json
 module Stats = Lcs_util.Stats
 module Table = Lcs_util.Table
 module Sketch = Lcs_util.Sketch
+module Domains = Lcs_congest.Par_profile
 
 type value = Int of int | Float of float | Str of string
 
@@ -54,6 +55,7 @@ type t = {
 }
 
 let now () = Unix.gettimeofday ()
+let epoch_s o = o.t0
 
 let create () =
   {

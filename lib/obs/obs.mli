@@ -27,6 +27,15 @@ module Sketch = Lcs_util.Sketch
     consumers find them next to spans and metrics. See
     {!Lcs_util.Sketch}. *)
 
+module Domains = Lcs_congest.Par_profile
+(** Wall-clock accounting for the sharded multicore simulator — per
+    domain per round step / deliver / barrier times, the cross-shard
+    traffic matrix and the speedup-loss decomposition — re-exported so
+    observability consumers find the parallel-execution dimension next
+    to spans and metrics. See {!Lcs_congest.Par_profile}; pass
+    {!epoch_s} to its [chrome_events] to align the domain tracks with
+    this collector's span tree in one Perfetto timeline. *)
+
 type t
 (** A recording collector: an open-span stack, the completed-span list,
     the metrics registry and the ledger. *)
@@ -134,6 +143,12 @@ val metrics_to_json : t -> Lcs_util.Json.t
 
 val ledger_to_json : t -> Lcs_util.Json.t
 (** Entry list, each with its [ratio] ([null] when [predicted <= 0]). *)
+
+val epoch_s : t -> float
+(** Absolute creation time ([Unix.gettimeofday]) of this collector — the
+    zero point of every span's [start_s] and of {!to_chrome_json}'s
+    timestamps. Pass it as [t0] to {!Domains.chrome_events} to merge
+    domain tracks and span tree onto one clock. *)
 
 val to_chrome_json : t -> Lcs_util.Json.t
 (** The span tree as Chrome trace-event JSON (["ph": "X"] complete

@@ -162,7 +162,7 @@ let setup ?budget rng shortcut ~values =
     k,
     { max_delay; congestion = r.Quality.congestion; dilation = r.Quality.dilation } )
 
-let minimum ?budget ?domains ?obs ?tracer rng shortcut ~values =
+let minimum ?budget ?domains ?obs ?tracer ?par_profile rng shortcut ~values =
   Obs.span obs "pa" @@ fun () ->
   let program, budget, host, partition, _k, sched =
     Obs.span obs "pa.setup" (fun () -> setup ?budget rng shortcut ~values)
@@ -174,7 +174,8 @@ let minimum ?budget ?domains ?obs ?tracer rng shortcut ~values =
   let profile, tracer = Pa_obs.profiled obs tracer ~edges:(Graph.m host) in
   Obs.enter obs "pa.run";
   let states, stats =
-    Simulator_par.run ?domains ~max_rounds:(budget + 8) ?tracer host program
+    Simulator_par.run ?domains ~max_rounds:(budget + 8) ?tracer ?par_profile host
+      program
   in
   Pa_obs.record_epochs obs profile ~max_delay:sched.max_delay
     ~rounds:stats.Simulator.rounds;
@@ -220,8 +221,8 @@ type report = {
   retransmissions : int;
 }
 
-let minimum_outcome ?budget ?domains ?max_rounds ?obs ?tracer ?faults ?(reliable = true)
-    ?config rng shortcut ~values =
+let minimum_outcome ?budget ?domains ?max_rounds ?obs ?tracer ?faults ?par_profile
+    ?(reliable = true) ?config rng shortcut ~values =
   Obs.span obs "pa" @@ fun () ->
   (* The ARQ roughly triples per-hop latency (data + ack round trips), so
      the reliable path gets a proportionally larger round budget unless
@@ -263,12 +264,14 @@ let minimum_outcome ?budget ?domains ?max_rounds ?obs ?tracer ?faults ?(reliable
   let states, retransmissions, unresponsive, out_of_rounds, ostats =
     if reliable then
       extract
-        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults host
+        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults ?par_profile
+           host
            (Reliable.wrap ?config program))
         Reliable.inner_states Reliable.retransmissions Reliable.dead_links
     else
       extract
-        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults host program)
+        (Simulator_par.run_outcome ?domains ~max_rounds ?tracer ?faults ?par_profile
+           host program)
         Fun.id
         (fun _ -> 0)
         (fun _ -> [])

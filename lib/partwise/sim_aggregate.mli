@@ -29,6 +29,7 @@ val minimum :
   ?domains:int ->
   ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   Lcs_util.Rng.t ->
   Lcs_shortcut.Shortcut.t ->
   values:int array ->
@@ -44,7 +45,11 @@ val minimum :
     distribution} rather than just the maximum. [domains] (default 1)
     shards the simulation across that many OCaml domains
     ({!Lcs_congest.Simulator_par}); all observables — minima, rounds,
-    stats, trace — are identical at any value. [?obs] opens a ["pa"]
+    stats, trace — are identical at any value. [par_profile] attaches
+    a wall-clock collector to the sharded simulator
+    ({!Lcs_congest.Simulator_par.run_outcome}): per-domain timelines,
+    barrier waits and the cross-shard traffic matrix, without touching
+    any observable. [?obs] opens a ["pa"]
     span with ["pa.setup"] / ["pa.run"] children, cuts the run into
     ["pa.epoch"] spans at the schedule's epoch boundaries
     ({!Schedule.epochs}), and records rounds-vs-[c + d·log n] (observed =
@@ -72,6 +77,7 @@ val minimum_outcome :
   ?obs:Lcs_obs.Obs.t ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   ?reliable:bool ->
   ?config:Lcs_congest.Reliable.config ->
   Lcs_util.Rng.t ->

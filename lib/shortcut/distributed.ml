@@ -88,7 +88,8 @@ type wave_state = {
          arrivals that completed the collection *)
 }
 
-let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ~variant
+let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ?par_profile
+    ~variant
     ~threshold partition info =
   if threshold < 1 then invalid_arg "Distributed.detection_wave: threshold";
   let host = Partition.graph partition in
@@ -208,7 +209,8 @@ let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ~var
     }
   in
   let result =
-    Lcs_congest.Simulator_par.run_outcome ?domains ?max_rounds ?tracer ?faults host
+    Lcs_congest.Simulator_par.run_outcome ?domains ?max_rounds ?tracer ?faults
+      ?par_profile host
       program
   in
   let over_of_states states =
@@ -237,10 +239,12 @@ let detection_wave_outcome ?(seed = 1) ?domains ?max_rounds ?tracer ?faults ~var
       in
       Error (pending, p.Simulator.partial_stats)
 
-let detection_wave ?seed ?domains ?max_rounds ?tracer ?faults ~variant ~threshold
+let detection_wave ?seed ?domains ?max_rounds ?tracer ?faults ?par_profile ~variant
+    ~threshold
     partition info =
   match
-    detection_wave_outcome ?seed ?domains ?max_rounds ?tracer ?faults ~variant
+    detection_wave_outcome ?seed ?domains ?max_rounds ?tracer ?faults ?par_profile
+      ~variant
       ~threshold partition info
   with
   | Ok (over, stats) -> (over, stats)
@@ -249,7 +253,7 @@ let detection_wave ?seed ?domains ?max_rounds ?tracer ?faults ~variant ~threshol
 (* --- Full pipeline ------------------------------------------------------- *)
 
 let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
-    ?(initial_delta = 1) ?domains ?tracer partition ~root =
+    ?(initial_delta = 1) ?domains ?tracer ?par_profile partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
@@ -260,7 +264,7 @@ let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
       let tree, height, bfs_stats =
         Obs.span obs "distributed.bfs" (fun () ->
             let tree, height, stats =
-              Sync_bfs.run ?domains ~max_rounds ?tracer host ~root
+              Sync_bfs.run ?domains ~max_rounds ?tracer ?par_profile host ~root
             in
             Obs.add_rounds obs stats.Simulator.rounds;
             Obs.note obs "height" (Obs.Int height);
@@ -285,6 +289,7 @@ let construct ?obs ?(seed = 1) ?variant ?(max_rounds = 2_000_000)
               Obs.note obs "threshold" (Obs.Int threshold);
               let over, stats =
                 detection_wave ~seed:(seed + !guesses) ?domains ~max_rounds ?tracer
+                  ?par_profile
                   ~variant ~threshold partition info
               in
               Obs.add_rounds obs stats.Simulator.rounds;
@@ -338,7 +343,7 @@ type report = {
 }
 
 let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_delta = 1)
-    ?domains ?tracer ?faults partition ~root =
+    ?domains ?tracer ?faults ?par_profile partition ~root =
   let host = Partition.graph partition in
   let variant =
     match variant with
@@ -352,7 +357,10 @@ let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_d
      stage always spends its whole budget — the budget must be "generous
      for the fault-free case", not the pipeline-wide 2M ceiling. *)
   let bfs_cap = min max_rounds ((4 * Graph.n host) + 64) in
-  match Sync_bfs.run_outcome ?domains ~max_rounds:bfs_cap ?tracer ?faults host ~root with
+  match
+    Sync_bfs.run_outcome ?domains ~max_rounds:bfs_cap ?tracer ?faults ?par_profile host
+      ~root
+  with
   | Lcs_congest.Outcome.Degraded (b, d) ->
       Outcome_t.Degraded
         ( {
@@ -385,6 +393,7 @@ let construct_outcome ?(seed = 1) ?variant ?(max_rounds = 2_000_000) ?(initial_d
         let wave_cap = min max_rounds (256 + (8 * d * max payload 4)) in
         match
           detection_wave_outcome ~seed:(seed + !guesses) ?domains ~max_rounds:wave_cap
+            ?par_profile
             ?tracer ?faults ~variant ~threshold partition info
         with
         | Error (pending, partial) ->

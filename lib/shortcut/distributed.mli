@@ -49,6 +49,7 @@ val detection_wave :
   ?max_rounds:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   variant:variant ->
   threshold:int ->
   Lcs_graph.Partition.t ->
@@ -74,6 +75,7 @@ val construct :
   ?initial_delta:int ->
   ?domains:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   Lcs_graph.Partition.t ->
   root:int ->
   outcome
@@ -88,7 +90,9 @@ val construct :
     guess's {!Construct} spans nested alongside. [domains] shards every
     simulated stage (BFS and each wave) across that many OCaml domains;
     the constructed shortcut, stats and trace are identical at any
-    value. *)
+    value. [par_profile] attaches one wall-clock collector to every
+    simulated stage — the BFS and each wave append their rounds to the
+    same timeline, so stage gaps show up in the Perfetto export. *)
 
 (** {1 Fault-tolerant pipeline} *)
 
@@ -112,6 +116,7 @@ val construct_outcome :
   ?domains:int ->
   ?tracer:Lcs_congest.Trace.tracer ->
   ?faults:Lcs_congest.Fault.t ->
+  ?par_profile:Lcs_congest.Par_profile.t ->
   Lcs_graph.Partition.t ->
   root:int ->
   report Lcs_congest.Outcome.t

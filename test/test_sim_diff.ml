@@ -502,6 +502,146 @@ let cross_shard_crash_purge () =
         true purged)
     domain_counts
 
+(* --- parallel-execution profiler --------------------------------------- *)
+
+(* Attaching a Par_profile collector must be invisible to every simulator
+   observable — the instrumented-vs-uninstrumented sweep of the
+   observability PR's acceptance criteria. At each swept domain count
+   (including 1, where the collector forces the sharded core so the
+   single-shard baseline timeline exists), fault-free and under a fault
+   plan, traced and untraced: identical results, identical trace event
+   sequences, byte-identical Exact-mode congestion profiles, identical
+   fault counters. *)
+let par_profile_transparent () =
+  let g = random_connected_graph 1312 ~n:28 ~extra:16 in
+  let program = gossip ~pseed:2029 ~bw:2 in
+  let plan = gen_plan 1312 ~n:28 ~m:(Graph.m g) in
+  let traced ?plan ~pp d =
+    let recorder = Trace.Recorder.create () in
+    let profile = Trace.Profile.create ~edges:(Graph.m g) () in
+    let tracer =
+      Trace.tee [ Trace.Recorder.tracer recorder; Trace.Profile.tracer profile ]
+    in
+    let faults = Option.map (fun p -> Fault.compile p) plan in
+    let par_profile = if pp then Some (Par_profile.create ()) else None in
+    let result =
+      Simulator_par.run_outcome ~domains:d ~bandwidth:2 ~tracer ?faults
+        ?par_profile g program
+    in
+    ( result,
+      Trace.Recorder.events recorder,
+      Json.to_string (Trace.Profile.to_json profile),
+      Option.map Fault.counts faults,
+      par_profile )
+  in
+  let untraced ~pp d =
+    let par_profile = if pp then Some (Par_profile.create ()) else None in
+    (Simulator_par.run_outcome ~domains:d ~bandwidth:2 ?par_profile g program,
+     par_profile)
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (label, plan) ->
+          let r0, e0, p0, c0, _ = traced ?plan ~pp:false d in
+          let r1, e1, p1, c1, pp = traced ?plan ~pp:true d in
+          check Alcotest.bool
+            (Printf.sprintf "traced %s observables, domains=%d" label d)
+            true
+            (same_result r0 r1 && e0 = e1 && c0 = c1);
+          check Alcotest.string
+            (Printf.sprintf "traced %s profile bytes, domains=%d" label d)
+            p0 p1;
+          (match pp with
+          | None -> Alcotest.fail "collector missing"
+          | Some pp ->
+              check Alcotest.int
+                (Printf.sprintf "collector saw %d shards (%s)" d label)
+                d (Par_profile.domains pp);
+              check Alcotest.bool
+                (Printf.sprintf "collector recorded rounds (%s, domains=%d)"
+                   label d)
+                true
+                (Par_profile.rounds pp > 0)))
+        [ ("fault-free", None); ("faulty", Some plan) ];
+      let r0, _ = untraced ~pp:false d in
+      let r1, _ = untraced ~pp:true d in
+      check Alcotest.bool
+        (Printf.sprintf "untraced fast-path result, domains=%d" d)
+        true (same_result r0 r1))
+    (1 :: domain_counts)
+
+(* The traffic matrix is an exact decomposition of the run's delivered
+   traffic: cell (s, t) counts messages whose source lives in shard s and
+   destination in shard t, recorded at the simulator's own counting
+   points — so the matrix total equals Simulator.stats messages/words,
+   and each row sum equals the per-domain totals row. Holds fault-free
+   and under fault plans (duplicates count per delivery, drops and
+   to-crashed sends not at all), at every domain count. *)
+let traffic_matrix_reconciles =
+  QCheck.Test.make ~name:"traffic matrix sums = simulator stats" ~count:60
+    QCheck.(
+      quad (int_bound 100_000) (int_range 2 20) (int_bound 2) QCheck.bool)
+    (fun (seed, n, bw_sel, with_faults) ->
+      let g = random_connected_graph seed ~n ~extra:(n / 2) in
+      let bw = 1 + bw_sel in
+      let program = gossip ~pseed:(mix seed 53) ~bw in
+      let plan =
+        if with_faults then Some (gen_plan seed ~n ~m:(Graph.m g)) else None
+      in
+      List.for_all
+        (fun d ->
+          let pp = Par_profile.create () in
+          let faults = Option.map (fun p -> Fault.compile p) plan in
+          let stats =
+            match
+              Simulator_par.run_outcome ~domains:d ~bandwidth:bw ?faults
+                ~par_profile:pp g program
+            with
+            | Simulator.Finished (_, stats) -> stats
+            | Simulator.Out_of_rounds _ -> assert false
+          in
+          let tm = Par_profile.traffic_messages pp in
+          let tw = Par_profile.traffic_words pp in
+          let sum m =
+            Array.fold_left
+              (fun acc row -> Array.fold_left ( + ) acc row)
+              0 m
+          in
+          let totals = Par_profile.totals pp in
+          sum tm = stats.Simulator.messages
+          && sum tw = stats.Simulator.words
+          && Array.for_all2
+               (fun (t : Par_profile.totals) row ->
+                 t.Par_profile.messages = Array.fold_left ( + ) 0 row)
+               totals tm
+          && Array.for_all2
+               (fun (t : Par_profile.totals) row ->
+                 t.Par_profile.words = Array.fold_left ( + ) 0 row)
+               totals tw)
+        domain_counts)
+
+(* Satellite of the same PR: the shard-count clamp is one documented
+   constant. [recommended] and [shard_bounds] agree on [max_domains] —
+   the historical [1,8] vs [1,32] split is gone. *)
+let clamp_unified () =
+  check Alcotest.int "max_domains is the documented ceiling" 32
+    Simulator_par.max_domains;
+  let r = Simulator_par.recommended () in
+  check Alcotest.bool "recommended within [1, max_domains]" true
+    (r >= 1 && r <= Simulator_par.max_domains);
+  let g = Generators.grid ~rows:8 ~cols:8 in
+  (* Requests beyond the ceiling clamp to it (n = 64 > 32 here, so the
+     node count is not the binding constraint). *)
+  let bounds = Simulator_par.shard_bounds ~domains:1000 g in
+  check Alcotest.int "shard_bounds clamps to max_domains"
+    Simulator_par.max_domains
+    (Array.length bounds - 1);
+  let tiny = Generators.path 3 in
+  let tb = Simulator_par.shard_bounds ~domains:1000 tiny in
+  check Alcotest.int "node count still binds below the ceiling" 3
+    (Array.length tb - 1)
+
 (* The cross-shard generator earns its name: at domains=2 the contiguous
    port-balanced split leaves every generated edge crossing the shard
    boundary. *)
@@ -527,6 +667,7 @@ let props =
       diff_sharded_faulty;
       diff_sharded_out_of_rounds;
       diff_sharded_cross_shard;
+      traffic_matrix_reconciles;
     ]
 
 let suite =
@@ -536,6 +677,8 @@ let suite =
     case "profile bytes identical across domains" `Quick profile_bytes_across_domains;
     case "run_profiled shards merge bit-exactly" `Quick run_profiled_parallel_bytes;
     case "cross-shard crash purges foreign deliveries" `Quick cross_shard_crash_purge;
+    case "par_profile attach is observable-transparent" `Quick par_profile_transparent;
+    case "domain-count clamp is one constant" `Quick clamp_unified;
     case "cross-shard generator sanity" `Quick cross_shard_graph_is_cross;
   ]
   @ props
